@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the substrate hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gd_dram::{AddressMapper, LowPowerPolicy, MemRequest, MemorySystem};
+use gd_mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind};
+use gd_types::config::DramConfig;
+
+fn bench_addr_decode(c: &mut Criterion) {
+    let mapper = AddressMapper::new(&DramConfig::ddr4_2133_64gb()).unwrap();
+    c.bench_function("addrmap/decode", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 0x9e3779b97f4a7c15) % mapper.capacity_bytes();
+            black_box(mapper.decode(black_box(addr & !63)).unwrap())
+        })
+    });
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy/alloc_free_order3", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 15);
+        b.iter(|| {
+            let off = buddy.alloc(3).unwrap();
+            buddy.free(black_box(off), 3);
+        })
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("dram/run_trace_1k_reads", |b| {
+        b.iter(|| {
+            let mut sys =
+                MemorySystem::new(DramConfig::small_test(), LowPowerPolicy::disabled())
+                    .unwrap();
+            let reqs: Vec<_> = (0..1000u64).map(|i| MemRequest::read(i * 64, i * 4)).collect();
+            black_box(sys.run_trace(reqs).unwrap())
+        })
+    });
+}
+
+fn bench_hotplug(c: &mut Criterion) {
+    c.bench_function("mmsim/offline_online_cycle", |b| {
+        let mut mm = MemoryManager::new(MmConfig::small_test()).unwrap();
+        mm.allocate(1000, PageKind::UserMovable).unwrap();
+        b.iter(|| {
+            mm.offline_block(15).unwrap().unwrap();
+            mm.online_block(15).unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_addr_decode,
+    bench_buddy,
+    bench_controller,
+    bench_hotplug
+);
+criterion_main!(benches);

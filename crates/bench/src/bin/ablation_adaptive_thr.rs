@@ -1,0 +1,44 @@
+//! Ablation (extension): adaptive off_thr — back off the reserve after
+//! stalls/failures, decay back when quiet. Compare against the fixed 10 %.
+
+use gd_bench::blocks::block_size_experiment;
+use gd_bench::report::{f2, header, pct, row};
+use gd_workloads::spec2006_offlining_set;
+use greendimm::GreenDimmConfig;
+
+fn main() {
+    let widths = [16, 12, 12, 12, 12];
+    header(
+        "Ablation: fixed vs adaptive off_thr (128 MB blocks)",
+        &["app", "fixed GiB", "fixed ovh", "adapt GiB", "adapt ovh"],
+        &widths,
+    );
+    for p in spec2006_offlining_set() {
+        let fixed =
+            block_size_experiment(&p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
+                .expect("co-sim");
+        let adaptive = block_size_experiment(
+            &p,
+            128,
+            GreenDimmConfig {
+                adaptive_off_thr: true,
+                ..GreenDimmConfig::paper_default()
+            },
+            |c| c,
+            1,
+        )
+        .expect("co-sim");
+        row(
+            &[
+                p.name.to_string(),
+                f2(fixed.offlined_gib_avg),
+                pct(fixed.overhead_fraction),
+                f2(adaptive.offlined_gib_avg),
+                pct(adaptive.overhead_fraction),
+            ],
+            &widths,
+        );
+    }
+    println!("\nadaptive backs the reserve off after stalls, trading a little");
+    println!("off-lined capacity for fewer demand-driven on-lining events");
+}

@@ -1,0 +1,38 @@
+//! Ablation: KSM scan-rate sweep (§5.3) — pages_to_scan controls how fast
+//! merging converges, trading CPU for reclaimed frames.
+
+use gd_bench::report::{header, row};
+use gd_ksm::{Ksm, KsmConfig};
+use gd_mmsim::{MemoryManager, MmConfig, PageKind};
+use gd_types::SimTime;
+
+fn main() {
+    let widths = [14, 14, 16];
+    header(
+        "Ablation: KSM pages_to_scan sweep (two 4k-page VMs, 60 s)",
+        &["pages/scan", "freed @60s", "freed @600s"],
+        &widths,
+    );
+    for pages_to_scan in [100u64, 500, 1000, 5000] {
+        let mut mm = MemoryManager::new(MmConfig::small_test()).expect("mm");
+        let mut ksm = Ksm::new(KsmConfig {
+            pages_to_scan,
+            ..KsmConfig::default()
+        });
+        let a = mm.allocate(4096, PageKind::UserMovable).expect("alloc");
+        let b = mm.allocate(4096, PageKind::UserMovable).expect("alloc");
+        ksm.register_region(a, vec![(7, 4096)], 0);
+        ksm.register_region(b, vec![(7, 4096)], 0);
+        let at60 = ksm.advance(SimTime::from_secs(60), &mut mm).expect("scan");
+        let more = ksm.advance(SimTime::from_secs(540), &mut mm).expect("scan");
+        row(
+            &[
+                pages_to_scan.to_string(),
+                at60.to_string(),
+                (at60 + more).to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nthe paper's 1000 pages / 50 ms costs ~10% of a core and converges in seconds");
+}

@@ -1,0 +1,40 @@
+//! Fig. 2: DRAM idle and busy power as capacity grows (paper: 18 W idle /
+//! 26 W busy at 256 GB; 9 W → 91 W from 64 GB to 1 TB with the background
+//! share rising 44 % → 78 %).
+
+use gd_bench::report::{f2, header, pct, row};
+use gd_power::{ActivityProfile, DramPowerModel, PowerGating};
+use gd_types::config::DramConfig;
+
+fn main() {
+    let widths = [10, 10, 10, 14];
+    header(
+        "Fig. 2: DRAM idle/busy power vs. capacity",
+        &["capacity", "idle (W)", "busy (W)", "bg fraction"],
+        &widths,
+    );
+    let base = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+    let idle_256 = base.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+    let busy_256 = base.analytic_power_w(&ActivityProfile::busy(0.45), &PowerGating::none());
+    // Activity power is set by the workload (16 copies of mcf), not by the
+    // installed capacity: only the background term scales with DIMM count.
+    let activity_w = busy_256 - idle_256;
+    let m64 = DramPowerModel::new(DramConfig::ddr4_2133_64gb());
+    let idle_64 = m64.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+    for cap_gb in [64u64, 128, 256, 512, 768, 1024] {
+        let idle = if cap_gb == 64 {
+            idle_64
+        } else {
+            // Capacity past the preset scales linearly in installed DIMMs
+            // (the paper fits the same linear model).
+            idle_256 * cap_gb as f64 / 256.0
+        };
+        let busy = idle + activity_w;
+        let bg = idle / busy;
+        row(
+            &[format!("{cap_gb} GB"), f2(idle), f2(busy), pct(bg)],
+            &widths,
+        );
+    }
+    println!("\npaper: 18/26 W at 256 GB; 9→91 W busy from 64 GB→1 TB; bg 44%→78%");
+}

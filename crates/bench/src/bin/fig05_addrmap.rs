@@ -1,0 +1,37 @@
+//! Fig. 5: the address mapping for the 64 GB platform and the sub-array
+//! group as the minimum power-management unit (1.5625 % of capacity).
+
+use gd_dram::AddressMapper;
+use gd_types::config::DramConfig;
+use gd_types::ids::SubArrayGroup;
+
+fn main() {
+    let cfg = DramConfig::ddr4_2133_64gb();
+    let mapper = AddressMapper::new(&cfg).expect("valid config");
+    let l = mapper.bit_layout();
+    println!("=== Fig. 5: physical address layout, 64 GB 4ch x 4rank DDR4 x8 ===\n");
+    println!("bit fields (LSB -> MSB):");
+    println!("  [{:>2} b] cache-line offset", l.offset);
+    println!("  [{:>2} b] channel select      (interleaved)", l.channel);
+    println!("  [{:>2} b] bank group select   (interleaved)", l.bank_group);
+    println!("  [{:>2} b] bank select         (interleaved)", l.bank);
+    println!("  [{:>2} b] column (cache line)", l.column);
+    println!("  [{:>2} b] rank select         (interleaved)", l.rank);
+    println!("  [{:>2} b] local row  <- local row decoder", l.local_row);
+    println!("  [{:>2} b] sub-array  <- global row decoder (MSBs)", l.subarray);
+    println!("  total {} bits = {} GB\n", l.total(), (1u64 << l.total()) >> 30);
+    println!(
+        "sub-array groups: {} x {} MB = {} GB ({}% of capacity each)",
+        mapper.subarray_groups(),
+        cfg.subarray_group_bytes() >> 20,
+        cfg.total_capacity_bytes() >> 30,
+        100.0 * cfg.subarray_group_bytes() as f64 / cfg.total_capacity_bytes() as f64,
+    );
+    for g in [0u32, 1, 63] {
+        let (s, e) = mapper
+            .subarray_group_range(SubArrayGroup::new(g))
+            .expect("interleaved");
+        println!("  group {g:>2}: physical [{s:#013x}, {e:#013x})");
+    }
+    println!("\npaper: 1024 MB unit = 1.5625% of capacity, independent of total size");
+}

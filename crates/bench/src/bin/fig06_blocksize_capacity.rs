@@ -1,0 +1,26 @@
+//! Fig. 6: off-lined capacity as the memory block size changes
+//! (paper: gcc off-lines 3.125 GB with 128 MB blocks vs 2 GB with 512 MB).
+
+use gd_bench::blocks::block_size_experiment;
+use gd_bench::report::{f2, header, row};
+use gd_workloads::spec2006_offlining_set;
+use greendimm::GreenDimmConfig;
+
+fn main() {
+    let widths = [16, 12, 12, 12];
+    header(
+        "Fig. 6: average off-lined capacity (GiB) in an 8 GiB managed region",
+        &["app", "128MB", "256MB", "512MB"],
+        &widths,
+    );
+    for p in spec2006_offlining_set() {
+        let mut cells = vec![p.name.to_string()];
+        for block_mib in [128u64, 256, 512] {
+            let r = block_size_experiment(&p, block_mib, GreenDimmConfig::paper_default(), |c| c, 1)
+                .expect("co-sim");
+            cells.push(f2(r.offlined_gib_avg));
+        }
+        row(&cells, &widths);
+    }
+    println!("\npaper: smaller blocks off-line more (gcc: 3.125 GB @128MB vs 2 GB @512MB)");
+}

@@ -1,0 +1,61 @@
+//! Fig. 8: off-lining failures — random block choice vs. checking the
+//! sysfs `removable` flag first (paper: removable-first cuts failures
+//! ~50 %, and churning apps fail most).
+
+use gd_bench::blocks::block_size_experiment;
+use gd_bench::report::{header, row};
+use gd_mmsim::MmConfig;
+use gd_workloads::spec2006_offlining_set;
+use greendimm::{GreenDimmConfig, SelectorPolicy};
+
+fn main() {
+    let widths = [16, 10, 12, 12, 12];
+    header(
+        "Fig. 8: off-lining failures by selector policy (128 MB blocks)",
+        &["app", "random", "rnd EAGAIN", "removable", "rm EAGAIN"],
+        &widths,
+    );
+    let tweaks = |c: MmConfig| MmConfig {
+        transient_fail_prob: 0.5,
+        unmovable_leak_prob: 0.30,
+        ..c
+    };
+    let seeds = [1u64, 2, 3, 4, 5];
+    for p in spec2006_offlining_set() {
+        let mut totals = [0u64; 4];
+        for &seed in &seeds {
+            let rnd = block_size_experiment(
+                &p,
+                128,
+                GreenDimmConfig::paper_default().with_selector(SelectorPolicy::Random),
+                tweaks,
+                seed,
+            )
+            .expect("co-sim");
+            let rm = block_size_experiment(
+                &p,
+                128,
+                GreenDimmConfig::paper_default().with_selector(SelectorPolicy::RemovableFirst),
+                tweaks,
+                seed,
+            )
+            .expect("co-sim");
+            totals[0] += rnd.failures;
+            totals[1] += rnd.failures_eagain;
+            totals[2] += rm.failures;
+            totals[3] += rm.failures_eagain;
+        }
+        row(
+            &[
+                p.name.to_string(),
+                totals[0].to_string(),
+                totals[1].to_string(),
+                totals[2].to_string(),
+                totals[3].to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(summed over {} seeds)", seeds.len());
+    println!("paper: removable-first reduces failures by ~50%; churny apps fail most");
+}

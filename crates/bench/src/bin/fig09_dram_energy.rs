@@ -1,0 +1,56 @@
+//! Fig. 9: DRAM energy, normalized to (w/o interleave, srf_only), for four
+//! policies under both interleave modes (paper: GreenDIMM reduces DRAM
+//! energy 38 % for SPEC and 60 % for data-center workloads on average,
+//! and beats RAMZzz/PASR by ~49 pp when interleaving is on).
+
+use gd_bench::energy::evaluate_app;
+use gd_bench::report::{f2, header, row};
+use gd_types::config::DramConfig;
+use gd_types::stats::geomean;
+use gd_workloads::energy_figure_set;
+
+fn main() {
+    let cfg = DramConfig::ddr4_2133_64gb();
+    let requests = 20_000;
+    let widths = [16, 9, 9, 9, 9, 9, 9, 9, 9];
+    header(
+        "Fig. 9: normalized DRAM energy (baseline = w/o intlv, srf_only)",
+        &[
+            "app", "srf-", "srf+", "RZ-", "RZ+", "PASR-", "PASR+", "GD-", "GD+",
+        ],
+        &widths,
+    );
+    println!("('-' = w/o interleaving, '+' = w/ interleaving)");
+    let mut gd_norms = Vec::new();
+    for p in energy_figure_set() {
+        let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
+        let cell = |policy: &str, intlv: bool| {
+            gd_bench::find_row(&rows, policy, intlv)
+                .map(|r| r.dram_norm)
+                .unwrap_or(f64::NAN)
+        };
+        gd_norms.push(cell("GreenDIMM", true));
+        row(
+            &[
+                p.name.to_string(),
+                f2(cell("srf_only", false)),
+                f2(cell("srf_only", true)),
+                f2(cell("RAMZzz", false)),
+                f2(cell("RAMZzz", true)),
+                f2(cell("PASR", false)),
+                f2(cell("PASR", true)),
+                f2(cell("GreenDIMM", false)),
+                f2(cell("GreenDIMM", true)),
+            ],
+            &widths,
+        );
+    }
+    if let Some(g) = geomean(&gd_norms) {
+        println!(
+            "\nGreenDIMM w/ interleaving geomean: {:.2} of baseline ({}% reduction)",
+            g,
+            ((1.0 - g) * 100.0).round()
+        );
+    }
+    println!("paper: GreenDIMM -38% (SPEC) / -60% (data-center) vs baseline");
+}

@@ -1,0 +1,55 @@
+//! Fig. 10: system energy, same matrix as Fig. 9 (paper: GreenDIMM reduces
+//! system energy by 26 % for SPEC and 30 % for data-center workloads; only
+//! GreenDIMM helps when interleaving is on).
+
+use gd_bench::energy::evaluate_app;
+use gd_bench::report::{f2, header, row};
+use gd_types::config::DramConfig;
+use gd_types::stats::geomean;
+use gd_workloads::energy_figure_set;
+
+fn main() {
+    let cfg = DramConfig::ddr4_2133_64gb();
+    let requests = 20_000;
+    let widths = [16, 9, 9, 9, 9, 9, 9, 9, 9];
+    header(
+        "Fig. 10: normalized system energy (baseline = w/o intlv, srf_only)",
+        &[
+            "app", "srf-", "srf+", "RZ-", "RZ+", "PASR-", "PASR+", "GD-", "GD+",
+        ],
+        &widths,
+    );
+    println!("('-' = w/o interleaving, '+' = w/ interleaving)");
+    let mut gd_norms = Vec::new();
+    for p in energy_figure_set() {
+        let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
+        let cell = |policy: &str, intlv: bool| {
+            gd_bench::find_row(&rows, policy, intlv)
+                .map(|r| r.system_norm)
+                .unwrap_or(f64::NAN)
+        };
+        gd_norms.push(cell("GreenDIMM", true));
+        row(
+            &[
+                p.name.to_string(),
+                f2(cell("srf_only", false)),
+                f2(cell("srf_only", true)),
+                f2(cell("RAMZzz", false)),
+                f2(cell("RAMZzz", true)),
+                f2(cell("PASR", false)),
+                f2(cell("PASR", true)),
+                f2(cell("GreenDIMM", false)),
+                f2(cell("GreenDIMM", true)),
+            ],
+            &widths,
+        );
+    }
+    if let Some(g) = geomean(&gd_norms) {
+        println!(
+            "\nGreenDIMM w/ interleaving geomean: {:.2} of baseline ({}% reduction)",
+            g,
+            ((1.0 - g) * 100.0).round()
+        );
+    }
+    println!("paper: GreenDIMM -26% (SPEC) / -30% (data-center) vs baseline");
+}

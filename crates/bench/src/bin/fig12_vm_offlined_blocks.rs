@@ -1,0 +1,66 @@
+//! Fig. 12: off-lined memory blocks over the 24 h VM trace (paper: 116 of
+//! 256 blocks on average — 45 % of capacity; 230 at minimum utilization;
+//! 4 at peak; KSM off-lines 61 more and cuts background power 70 %).
+
+use gd_bench::report::{header, pct, row};
+use gd_bench::{run_vm_trace, VmTraceConfig};
+use gd_power::{ActivityProfile, DramPowerModel, PowerGating};
+use gd_types::config::DramConfig;
+
+fn main() {
+    let base = run_vm_trace(&VmTraceConfig::paper_256gb()).expect("vm trace");
+    let ksm = run_vm_trace(&VmTraceConfig {
+        ksm: true,
+        ..VmTraceConfig::paper_256gb()
+    })
+    .expect("vm trace");
+
+    let widths = [8, 14, 14];
+    header(
+        "Fig. 12: off-lined 1 GB blocks over 24 h (256 GB = 256 blocks)",
+        &["hour", "offline", "offline w/ksm"],
+        &widths,
+    );
+    for h in 0..24u64 {
+        let avg = |o: &gd_bench::VmTraceOutcome| {
+            let v: Vec<_> = o
+                .samples
+                .iter()
+                .filter(|s| s.time_s >= h * 3600 && s.time_s < (h + 1) * 3600)
+                .map(|s| s.offline_blocks as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        row(
+            &[
+                format!("{h:02}"),
+                format!("{:.0}", avg(&base)),
+                format!("{:.0}", avg(&ksm)),
+            ],
+            &widths,
+        );
+    }
+    let (lo, hi) = base.offline_blocks_range();
+    println!(
+        "\nmean {:.0} blocks offline (paper 116/256), range {lo}..{hi} (paper 4..230)",
+        base.mean_offline_blocks()
+    );
+    println!(
+        "w/ KSM: mean {:.0} blocks (+{:.0}; paper +61)",
+        ksm.mean_offline_blocks(),
+        ksm.mean_offline_blocks() - base.mean_offline_blocks()
+    );
+
+    // Background power reduction from the deep power-down residency.
+    let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+    let idle = ActivityProfile::idle_standby();
+    let full = model.analytic_power_w(&idle, &PowerGating::none());
+    let with = model.analytic_power_w(&idle, &PowerGating::deep_pd(base.mean_deep_pd_fraction()));
+    let with_ksm =
+        model.analytic_power_w(&idle, &PowerGating::deep_pd(ksm.mean_deep_pd_fraction()));
+    println!(
+        "\nbackground power reduction: {} (paper 46%), w/ KSM {} (paper 70%)",
+        pct(1.0 - with / full),
+        pct(1.0 - with_ksm / full)
+    );
+}

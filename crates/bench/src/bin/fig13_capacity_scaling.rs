@@ -1,0 +1,63 @@
+//! Fig. 13: DRAM and system power as capacity scales 256 GB → 1 TB with
+//! the same VM load (paper: GreenDIMM −32 %/−9 % at 256 GB rising to
+//! −36 %/−20 % at 1 TB; with KSM −55 %/−30 % at 1 TB).
+
+use gd_bench::report::{f2, header, pct, row};
+use gd_bench::{run_vm_trace, VmTraceConfig};
+use gd_power::{ActivityProfile, DramPowerModel, PowerGating, SystemPowerModel};
+use gd_types::config::DramConfig;
+
+fn main() {
+    let widths = [9, 9, 9, 9, 9, 10, 10, 10, 10];
+    header(
+        "Fig. 13: DRAM/system power vs. capacity (24 h VM trace)",
+        &[
+            "cap", "dram W", "gd W", "ksm W", "sys W", "dram red", "sys red", "ksm dred",
+            "ksm sred",
+        ],
+        &widths,
+    );
+    let sys_model = SystemPowerModel::default();
+    let cpu_util = 0.3; // consolidated VM server, modest CPU activity
+    let base_model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+    let activity = ActivityProfile::busy(0.15);
+    let p256 = base_model.analytic_power_w(&activity, &PowerGating::none());
+
+    for cap_gb in [256u64, 512, 768, 1024] {
+        let cfg = VmTraceConfig {
+            capacity_gb: cap_gb,
+            ..VmTraceConfig::paper_256gb()
+        };
+        let run = run_vm_trace(&cfg).expect("vm trace");
+        let ksm_run = run_vm_trace(&VmTraceConfig { ksm: true, ..cfg }).expect("vm trace");
+        // Linear capacity scaling of the conventional power (same model the
+        // paper fits to its 256 GB measurement).
+        let scale = cap_gb as f64 / 256.0;
+        let dram_w = p256 * scale;
+        let gd_w = base_model
+            .analytic_power_w(&activity, &PowerGating::deep_pd(run.mean_deep_pd_fraction()))
+            * scale;
+        let ksm_w = base_model.analytic_power_w(
+            &activity,
+            &PowerGating::deep_pd(ksm_run.mean_deep_pd_fraction()),
+        ) * scale;
+        let sys_w = sys_model.system_power_w(dram_w, cpu_util);
+        let sys_gd = sys_model.system_power_w(gd_w, cpu_util);
+        let sys_ksm = sys_model.system_power_w(ksm_w, cpu_util);
+        row(
+            &[
+                format!("{cap_gb}G"),
+                f2(dram_w),
+                f2(gd_w),
+                f2(ksm_w),
+                f2(sys_w),
+                pct(1.0 - gd_w / dram_w),
+                pct(1.0 - sys_gd / sys_w),
+                pct(1.0 - ksm_w / dram_w),
+                pct(1.0 - sys_ksm / sys_w),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper: -32%/-9% at 256 GB -> -36%/-20% at 1 TB; w/ KSM -55%/-30% at 1 TB");
+}

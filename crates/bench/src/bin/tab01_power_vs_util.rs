@@ -1,0 +1,23 @@
+//! Table 1: DRAM power vs. utilization of memory capacity — without power
+//! management the power is flat (paper: 25.8–26.0 W at 256 GB).
+
+use gd_bench::report::{f2, header, row};
+use gd_power::{ActivityProfile, DramPowerModel, PowerGating};
+use gd_types::config::DramConfig;
+
+fn main() {
+    let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+    let widths = [12, 10];
+    header(
+        "Table 1: DRAM power vs. utilization of memory capacity (256 GB)",
+        &["utilization", "power (W)"],
+        &widths,
+    );
+    // A lightly loaded server: capacity utilization does not enter the
+    // conventional power equation at all — only traffic does.
+    for util in [0.10, 0.25, 0.50, 0.75, 1.00] {
+        let p = model.analytic_power_w(&ActivityProfile::busy(0.40), &PowerGating::none());
+        row(&[format!("{:.0}%", util * 100.0), f2(p)], &widths);
+    }
+    println!("\npaper: 25.8 W .. 26.0 W — constant regardless of used capacity");
+}

@@ -1,0 +1,27 @@
+//! Table 2: number of on/off-lining events vs. block size
+//! (paper: mcf 6/2/1, gcc 47/24/12, soplex 36/18/8, lbm 30/15/6,
+//! libquantum 37/17/8, povray 40/20/9 for 128/256/512 MB).
+
+use gd_bench::blocks::block_size_experiment;
+use gd_bench::report::{header, row};
+use gd_workloads::spec2006_offlining_set;
+use greendimm::GreenDimmConfig;
+
+fn main() {
+    let widths = [16, 10, 10, 10];
+    header(
+        "Table 2: on/off-lining events vs. block size",
+        &["app", "128MB", "256MB", "512MB"],
+        &widths,
+    );
+    for p in spec2006_offlining_set() {
+        let mut cells = vec![p.name.to_string()];
+        for block_mib in [128u64, 256, 512] {
+            let r = block_size_experiment(&p, block_mib, GreenDimmConfig::paper_default(), |c| c, 1)
+                .expect("co-sim");
+            cells.push(r.hotplug_events.to_string());
+        }
+        row(&cells, &widths);
+    }
+    println!("\npaper: event counts roughly halve with each block-size doubling");
+}

@@ -1,0 +1,81 @@
+//! Table 3: average latencies of off-lining, on-lining, and the two
+//! failure modes (paper: 1.58 ms / 3.44 ms / EAGAIN 4.37 ms / EBUSY 6 µs),
+//! measured by forcing each path through the hotplug machinery.
+
+use gd_bench::report::{header, row};
+use gd_mmsim::{MemoryManager, MmConfig, PageKind};
+
+fn main() {
+    let mut mm = MemoryManager::new(MmConfig {
+        transient_fail_prob: 1.0, // force EAGAIN on migration paths
+        ..MmConfig::small_test()
+    })
+    .expect("config");
+
+    // Success + online: free block.
+    for _ in 0..50 {
+        mm.offline_block(15).unwrap().unwrap();
+        mm.online_block(15).unwrap();
+    }
+    // EBUSY: kernel pages in block 0.
+    let kernel = mm.allocate(64, PageKind::KernelUnmovable).unwrap();
+    for _ in 0..50 {
+        mm.offline_block(0).unwrap().unwrap_err();
+    }
+    mm.free(kernel).unwrap();
+    // EAGAIN: movable pages, but migration always transiently fails.
+    let app = mm.allocate(1000, PageKind::UserMovable).unwrap();
+    for _ in 0..50 {
+        mm.offline_block(0).unwrap().unwrap_err();
+    }
+    mm.free(app).unwrap();
+
+    let s = &mm.stats;
+    let widths = [22, 18, 14];
+    header(
+        "Table 3: hotplug operation latencies (while running mcf)",
+        &["event", "avg latency", "paper"],
+        &widths,
+    );
+    let fmt_us = |v: Option<f64>| match v {
+        Some(us) if us >= 1000.0 => format!("{:.2} ms", us / 1000.0),
+        Some(us) => format!("{us:.0} us"),
+        None => "-".into(),
+    };
+    row(
+        &[
+            "off-lining".into(),
+            fmt_us(s.offline_latency_us.mean()),
+            "1.58 ms".into(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "on-lining".into(),
+            fmt_us(s.online_latency_us.mean()),
+            "3.44 ms".into(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "failure (EAGAIN)".into(),
+            fmt_us(s.eagain_latency_us.mean()),
+            "4.37 ms".into(),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "failure (EBUSY)".into(),
+            fmt_us(s.ebusy_latency_us.mean()),
+            "6 us".into(),
+        ],
+        &widths,
+    );
+    println!(
+        "\ncounts: {} offline, {} online, {} EAGAIN, {} EBUSY",
+        s.offline_success, s.online_count, s.offline_eagain, s.offline_ebusy
+    );
+}

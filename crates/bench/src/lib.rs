@@ -1,0 +1,20 @@
+//! The experiment harness: shared logic behind the figure/table
+//! regeneration binaries (`src/bin/fig*.rs`, `src/bin/tab*.rs`) and the
+//! criterion micro-benchmarks.
+//!
+//! Every table and figure of the paper's evaluation has a binary that
+//! regenerates it; see `DESIGN.md` §5 for the index and `EXPERIMENTS.md`
+//! for paper-vs-measured values. Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p gd-bench --bin fig09_dram_energy
+//! ```
+
+pub mod blocks;
+pub mod energy;
+pub mod report;
+pub mod vmtrace;
+
+pub use blocks::{block_size_experiment, BlockSizeRow, MANAGED_BYTES};
+pub use energy::{evaluate_app, find_row, measure_app, AppMeasurement, EnergyRow};
+pub use vmtrace::{run_vm_trace, VmTraceConfig, VmTraceOutcome, VmTraceSample};

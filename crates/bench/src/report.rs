@@ -1,0 +1,42 @@
+//! Minimal fixed-width table printing for the figure/table binaries.
+
+/// Prints a header row followed by a rule.
+pub fn header(title: &str, cols: &[&str], widths: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+}
+
+/// Formats one cell-aligned row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Percent formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Two-decimal float formatting helper.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.365), "36.5%");
+        assert_eq!(f2(1.239), "1.24");
+    }
+}

@@ -1,0 +1,308 @@
+//! Epoch-level co-simulation: the daemon, the OS memory manager, and
+//! (optionally) KSM advancing together in simulated time.
+//!
+//! Cycle simulation of a 24-hour VM trace is intractable, so the system
+//! experiments advance in epochs (the daemon's 1 s monitor period): the
+//! workload adjusts its footprint, KSM merges what its scan budget allows,
+//! and the daemon on/off-lines blocks. DRAM power is integrated per epoch
+//! from state-residency fractions.
+
+use crate::daemon::{Daemon, TickReport};
+use gd_ksm::Ksm;
+use gd_mmsim::{AllocationId, MemoryManager, PageKind};
+use gd_types::{Result, SimTime};
+
+/// Keeps one allocation sized to a moving target (an application footprint
+/// following its profile dynamics).
+#[derive(Debug, Default)]
+pub struct FootprintDriver {
+    alloc: Option<AllocationId>,
+    pages: u64,
+}
+
+impl FootprintDriver {
+    /// Creates an empty driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current footprint in pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// The backing allocation handle, if any pages are held (used to
+    /// register the region with KSM).
+    pub fn allocation_id(&self) -> Option<AllocationId> {
+        self.alloc
+    }
+
+    /// Grows or shrinks the allocation to `target` pages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`gd_types::GdError::OutOfMemory`] when growth exceeds
+    /// on-line free memory (the caller decides whether that models swapping
+    /// or an on-lining stall).
+    pub fn set_target(&mut self, mm: &mut MemoryManager, target: u64) -> Result<()> {
+        if target == self.pages {
+            return Ok(());
+        }
+        match self.alloc {
+            None => {
+                if target > 0 {
+                    self.alloc = Some(mm.allocate(target, PageKind::UserMovable)?);
+                    self.pages = target;
+                }
+            }
+            Some(id) => {
+                if target > self.pages {
+                    mm.grow(id, target - self.pages)?;
+                    self.pages = target;
+                } else {
+                    let freed = mm.shrink(id, self.pages - target)?;
+                    self.pages = self.pages.saturating_sub(freed);
+                    if self.pages == 0 {
+                        self.alloc = None;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases everything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates manager errors for unknown allocations (a driver bug).
+    pub fn clear(&mut self, mm: &mut MemoryManager) -> Result<()> {
+        if let Some(id) = self.alloc.take() {
+            if self.pages > 0 {
+                match mm.free(id) {
+                    // KSM may have merged the allocation away entirely
+                    // behind our back; nothing left to free is fine.
+                    Err(gd_types::GdError::NotFound(_)) => {}
+                    other => other?,
+                }
+            }
+        }
+        self.pages = 0;
+        Ok(())
+    }
+}
+
+/// The epoch engine.
+#[derive(Debug)]
+pub struct EpochSim {
+    /// The simulated OS physical memory.
+    pub mm: MemoryManager,
+    /// The GreenDIMM daemon.
+    pub daemon: Daemon,
+    /// Optional KSM daemon.
+    pub ksm: Option<Ksm>,
+    now: SimTime,
+    next_monitor: SimTime,
+}
+
+impl EpochSim {
+    /// Creates an epoch simulation at t = 0.
+    pub fn new(mm: MemoryManager, daemon: Daemon, ksm: Option<Ksm>) -> Self {
+        let next_monitor = daemon.config().monitor_period;
+        EpochSim {
+            mm,
+            daemon,
+            ksm,
+            now: SimTime::ZERO,
+            next_monitor,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Fraction of installed capacity currently off-lined.
+    pub fn offline_fraction(&self) -> f64 {
+        let info = self.mm.meminfo();
+        if info.installed_pages == 0 {
+            0.0
+        } else {
+            info.offline_pages as f64 / info.installed_pages as f64
+        }
+    }
+
+    /// Fraction of sub-array groups in deep power-down.
+    pub fn deep_pd_fraction(&self) -> f64 {
+        self.daemon.deep_pd_fraction()
+    }
+
+    /// Advances simulated time by `dt`, running KSM continuously and the
+    /// daemon at its monitor period (plus the KSM fast path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates daemon/manager errors that indicate bugs; kernel-level
+    /// off-lining failures are handled internally.
+    pub fn step(&mut self, dt: SimTime) -> Result<TickReport> {
+        let target = self.now + dt;
+        let mut aggregate = TickReport::default();
+        while self.now < target {
+            let next = self.next_monitor.min(target);
+            let slice = next - self.now;
+            let mut merged = 0;
+            if let Some(ksm) = &mut self.ksm {
+                merged = ksm.advance(slice, &mut self.mm)?;
+            }
+            self.now = next;
+            let fast_path = merged > 0 && self.daemon.config().ksm_fast_path;
+            if self.now >= self.next_monitor || fast_path {
+                let r = self.daemon.tick(self.now, &mut self.mm)?;
+                aggregate.offlined += r.offlined;
+                aggregate.onlined += r.onlined;
+                aggregate.failures += r.failures;
+                if self.now >= self.next_monitor {
+                    self.next_monitor += self.daemon.config().monitor_period;
+                }
+            }
+        }
+        Ok(aggregate)
+    }
+
+    /// Resizes a footprint, modelling the kernel's demand-driven on-lining
+    /// when growth outruns on-line free memory: the allocation stalls, the
+    /// daemon on-lines blocks, and the allocation retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gd_types::GdError::OutOfMemory`] only if the target exceeds
+    /// even the fully on-lined capacity.
+    pub fn set_footprint(&mut self, fp: &mut FootprintDriver, target: u64) -> Result<()> {
+        match fp.set_target(&mut self.mm, target) {
+            Ok(()) => Ok(()),
+            Err(gd_types::GdError::OutOfMemory { requested_pages, .. }) => {
+                let now = self.now;
+                self.daemon
+                    .handle_allocation_stall(now, &mut self.mm, requested_pages)?;
+                fp.set_target(&mut self.mm, target)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs the daemon with no workload until off-lining converges (steady
+    /// state before an experiment starts), up to `max_secs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`step`](Self::step) errors.
+    pub fn settle(&mut self, max_secs: u64) -> Result<()> {
+        let mut last_offline = usize::MAX;
+        for _ in 0..max_secs {
+            self.step(SimTime::from_secs(1))?;
+            let now_offline = self.mm.offline_block_count();
+            if now_offline == last_offline {
+                break;
+            }
+            last_offline = now_offline;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GreenDimmConfig;
+    use crate::groupmap::GroupMap;
+    use gd_mmsim::MmConfig;
+
+    fn sim() -> EpochSim {
+        let mm = MemoryManager::new(MmConfig::small_test()).unwrap();
+        let map = GroupMap::new(256 << 20, 16, 16 << 20).unwrap();
+        let daemon = Daemon::new(GreenDimmConfig::paper_default(), map);
+        EpochSim::new(mm, daemon, None)
+    }
+
+    #[test]
+    fn settle_reaches_reserve_steady_state() {
+        let mut s = sim();
+        s.settle(30).unwrap();
+        assert!(s.offline_fraction() > 0.7, "{}", s.offline_fraction());
+        let before = s.mm.offline_block_count();
+        s.step(SimTime::from_secs(5)).unwrap();
+        assert_eq!(s.mm.offline_block_count(), before, "steady state");
+    }
+
+    #[test]
+    fn footprint_growth_triggers_onlining() {
+        let mut s = sim();
+        s.settle(30).unwrap();
+        let mut fp = FootprintDriver::new();
+        // Target 60% of installed capacity: far beyond the 10% reserve.
+        let target = s.mm.meminfo().installed_pages * 6 / 10;
+        // Growth may require on-lining first; grow in steps as an app would.
+        let mut current = 0;
+        for _ in 0..200 {
+            let step_target = (current + 2000).min(target);
+            if fp.set_target(&mut s.mm, step_target).is_ok() {
+                current = step_target;
+            }
+            s.step(SimTime::from_secs(1)).unwrap();
+            if current == target {
+                break;
+            }
+        }
+        assert_eq!(current, target, "growth must eventually succeed");
+        assert!(s.daemon.stats.online_events > 0);
+    }
+
+    #[test]
+    fn footprint_shrink_triggers_offlining() {
+        let mut s = sim();
+        let mut fp = FootprintDriver::new();
+        let half = s.mm.meminfo().installed_pages / 2;
+        fp.set_target(&mut s.mm, half).unwrap();
+        s.step(SimTime::from_secs(5)).unwrap();
+        let offline_with_app = s.mm.offline_block_count();
+        fp.set_target(&mut s.mm, half / 8).unwrap();
+        s.step(SimTime::from_secs(10)).unwrap();
+        assert!(
+            s.mm.offline_block_count() > offline_with_app,
+            "freed memory must be off-lined"
+        );
+    }
+
+    #[test]
+    fn set_footprint_stalls_and_onlines_on_demand() {
+        let mut s = sim();
+        s.settle(30).unwrap();
+        assert!(s.offline_fraction() > 0.5);
+        let mut fp = FootprintDriver::new();
+        // One shot far beyond the on-line reserve: must stall + on-line.
+        let target = s.mm.meminfo().installed_pages * 7 / 10;
+        s.set_footprint(&mut fp, target).unwrap();
+        assert_eq!(fp.pages(), target);
+        assert!(s.daemon.stats.online_events > 0);
+    }
+
+    #[test]
+    fn driver_clear_releases_all() {
+        let mut s = sim();
+        let mut fp = FootprintDriver::new();
+        fp.set_target(&mut s.mm, 5000).unwrap();
+        assert_eq!(fp.pages(), 5000);
+        fp.clear(&mut s.mm).unwrap();
+        assert_eq!(fp.pages(), 0);
+        assert_eq!(s.mm.meminfo().used_pages, 0);
+    }
+
+    #[test]
+    fn time_advances_and_monitor_fires_once_per_period() {
+        let mut s = sim();
+        s.step(SimTime::from_secs(10)).unwrap();
+        assert_eq!(s.now(), SimTime::from_secs(10));
+        assert_eq!(s.daemon.stats.ticks, 10);
+    }
+}

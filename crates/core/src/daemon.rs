@@ -1,0 +1,466 @@
+//! The GreenDIMM power-management daemon: `memory_usage_monitor()` +
+//! `block_selector()` + deep power-down register programming (§4.2).
+
+use crate::config::GreenDimmConfig;
+use crate::groupmap::GroupMap;
+use crate::registers::{GroupRegisterFile, DEEP_PD_EXIT};
+use gd_mmsim::{MemoryManager, OfflineErrno};
+use gd_types::ids::SubArrayGroup;
+use gd_types::rng::component_rng;
+use gd_types::{Result, SimTime};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Counters the daemon accumulates over a run (Tables 2–3, Fig. 8, and the
+/// overhead model behind Figs. 7 and 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Monitor ticks executed.
+    pub ticks: u64,
+    /// Successful block off-linings.
+    pub offline_events: u64,
+    /// Successful block on-linings.
+    pub online_events: u64,
+    /// Off-lining failures with EBUSY.
+    pub failures_ebusy: u64,
+    /// Off-lining failures with EAGAIN.
+    pub failures_eagain: u64,
+    /// Wall-clock time spent inside hotplug operations and deep power-down
+    /// exits.
+    pub hotplug_time: SimTime,
+}
+
+impl DaemonStats {
+    /// All off-lining failures.
+    pub fn failures(&self) -> u64 {
+        self.failures_ebusy + self.failures_eagain
+    }
+
+    /// All on/off-lining events (Table 2's metric).
+    pub fn hotplug_events(&self) -> u64 {
+        self.offline_events + self.online_events
+    }
+}
+
+/// What one monitor tick did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickReport {
+    /// Blocks off-lined.
+    pub offlined: u32,
+    /// Blocks on-lined.
+    pub onlined: u32,
+    /// Off-lining failures.
+    pub failures: u32,
+}
+
+/// The daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    cfg: GreenDimmConfig,
+    map: GroupMap,
+    registers: GroupRegisterFile,
+    rng: StdRng,
+    /// Effective off threshold (== `cfg.off_thr` unless adaptive).
+    current_off_thr: f64,
+    /// Monitor ticks since the last failure or stall (for adaptive decay).
+    quiet_ticks: u32,
+    /// Run statistics.
+    pub stats: DaemonStats,
+}
+
+impl Daemon {
+    /// Creates a daemon for the given block/group geometry.
+    pub fn new(cfg: GreenDimmConfig, map: GroupMap) -> Self {
+        Daemon {
+            registers: GroupRegisterFile::new(map.groups()),
+            rng: component_rng(cfg.seed, "greendimm-daemon"),
+            current_off_thr: cfg.off_thr,
+            quiet_ticks: 0,
+            cfg,
+            map,
+            stats: DaemonStats::default(),
+        }
+    }
+
+    /// The effective off threshold (differs from the configured one only
+    /// when [`GreenDimmConfig::adaptive_off_thr`] is on).
+    ///
+    /// [`GreenDimmConfig::adaptive_off_thr`]: crate::config::GreenDimmConfig::adaptive_off_thr
+    pub fn effective_off_thr(&self) -> f64 {
+        self.current_off_thr
+    }
+
+    /// Adaptive back-off: raise the reserve after trouble (off-lining
+    /// failures or allocation stalls), decay toward the configured
+    /// threshold after 30 quiet ticks.
+    fn adapt(&mut self, had_trouble: bool) {
+        if !self.cfg.adaptive_off_thr {
+            return;
+        }
+        if had_trouble {
+            self.quiet_ticks = 0;
+            self.current_off_thr = (self.current_off_thr * 1.25).min(0.30);
+        } else {
+            self.quiet_ticks += 1;
+            if self.quiet_ticks >= 30 {
+                self.current_off_thr = (self.current_off_thr * 0.9).max(self.cfg.off_thr);
+            }
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GreenDimmConfig {
+        &self.cfg
+    }
+
+    /// The block/group geometry.
+    pub fn group_map(&self) -> &GroupMap {
+        &self.map
+    }
+
+    /// The deep power-down register file (for the power model).
+    pub fn registers(&self) -> &GroupRegisterFile {
+        &self.registers
+    }
+
+    /// Fraction of sub-array groups currently in deep power-down.
+    pub fn deep_pd_fraction(&self) -> f64 {
+        self.registers.down_fraction()
+    }
+
+    /// One `memory_usage_monitor()` pass at simulated time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-manager errors that indicate caller bugs (the
+    /// kernel's EBUSY/EAGAIN results are *handled*, not propagated).
+    pub fn tick(&mut self, now: SimTime, mm: &mut MemoryManager) -> Result<TickReport> {
+        self.stats.ticks += 1;
+        let mut report = TickReport::default();
+        let info = mm.meminfo();
+        let installed = info.installed_pages;
+        let off_floor = (self.current_off_thr * installed as f64) as u64;
+        let on_floor = (self.cfg.on_thr * installed as f64) as u64;
+        let block_pages = mm.block_pages();
+
+        if info.free_pages > off_floor + block_pages {
+            self.offline_pass(now, mm, off_floor, block_pages, &mut report)?;
+        } else if info.free_pages < on_floor {
+            self.online_pass(now, mm, off_floor, &mut report)?;
+        }
+        self.adapt(report.failures > 0);
+        Ok(report)
+    }
+
+    fn offline_pass(
+        &mut self,
+        now: SimTime,
+        mm: &mut MemoryManager,
+        off_floor: u64,
+        block_pages: u64,
+        report: &mut TickReport,
+    ) -> Result<()> {
+        let mut excluded: HashSet<usize> = HashSet::new();
+        let mut attempts = 0;
+        while attempts < self.cfg.max_attempts_per_tick
+            && mm.meminfo().free_pages > off_floor + block_pages
+        {
+            let Some(block) = crate::selector::pick_candidate(
+                mm,
+                self.cfg.selector,
+                &excluded,
+                &mut self.rng,
+            ) else {
+                break;
+            };
+            attempts += 1;
+            match mm.offline_block(block)? {
+                Ok(ok) => {
+                    self.stats.offline_events += 1;
+                    self.stats.hotplug_time += ok.latency;
+                    report.offlined += 1;
+                    self.update_registers_after_offline(now + self.stats.hotplug_time, mm)?;
+                }
+                Err(fail) => {
+                    match fail.errno {
+                        OfflineErrno::Busy => self.stats.failures_ebusy += 1,
+                        OfflineErrno::Again => self.stats.failures_eagain += 1,
+                    }
+                    self.stats.hotplug_time += fail.latency;
+                    report.failures += 1;
+                    excluded.insert(block);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn online_pass(
+        &mut self,
+        now: SimTime,
+        mm: &mut MemoryManager,
+        off_floor: u64,
+        report: &mut TickReport,
+    ) -> Result<()> {
+        // On-line blocks until the free reserve is restored to the off
+        // threshold (the hysteresis upper edge).
+        while mm.meminfo().free_pages < off_floor {
+            let Some(block) = mm.blocks().iter().find(|b| !b.online).map(|b| b.index) else {
+                break; // everything already on-line
+            };
+            // Wake the sub-array groups this block belongs to and poll the
+            // ready bit before online_pages() (§4.2).
+            for g in self.map.groups_of_block(block)? {
+                if self.registers.is_down(g) {
+                    self.registers.set(g, false, now)?;
+                    self.stats.hotplug_time += DEEP_PD_EXIT;
+                }
+            }
+            let latency = mm.online_block(block)?;
+            self.stats.online_events += 1;
+            self.stats.hotplug_time += latency;
+            report.onlined += 1;
+        }
+        Ok(())
+    }
+
+    /// Demand-driven on-lining: an allocation of `needed_pages` could not
+    /// be satisfied, so the allocating task blocks while the daemon
+    /// on-lines enough blocks (plus the hysteresis reserve). Returns the
+    /// number of blocks on-lined; the caller retries its allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-manager errors that indicate caller bugs.
+    pub fn handle_allocation_stall(
+        &mut self,
+        now: SimTime,
+        mm: &mut MemoryManager,
+        needed_pages: u64,
+    ) -> Result<u32> {
+        let mut onlined = 0u32;
+        self.adapt(true); // an allocation stall is trouble for the policy
+        let target = {
+            let info = mm.meminfo();
+            let floor = (self.current_off_thr * info.installed_pages as f64) as u64;
+            needed_pages + floor
+        };
+        while mm.meminfo().free_pages < target {
+            let Some(block) = mm.blocks().iter().find(|b| !b.online).map(|b| b.index) else {
+                break;
+            };
+            for g in self.map.groups_of_block(block)? {
+                if self.registers.is_down(g) {
+                    self.registers.set(g, false, now)?;
+                    self.stats.hotplug_time += DEEP_PD_EXIT;
+                }
+            }
+            let latency = mm.online_block(block)?;
+            self.stats.online_events += 1;
+            self.stats.hotplug_time += latency;
+            onlined += 1;
+        }
+        Ok(onlined)
+    }
+
+    /// After off-lining, move every fully-off-lined group into deep
+    /// power-down (honouring the shared-sense-amp neighbour constraint).
+    fn update_registers_after_offline(
+        &mut self,
+        now: SimTime,
+        mm: &MemoryManager,
+    ) -> Result<()> {
+        let offline_flags: Vec<bool> = mm.blocks().iter().map(|b| !b.online).collect();
+        // The managed geometry may be smaller than the whole machine (the
+        // paper manages a movablecore region); map only the managed prefix.
+        let managed = self.map.blocks().min(offline_flags.len());
+        let flags = &offline_flags[..managed];
+        if flags.len() != self.map.blocks() {
+            return Ok(()); // geometry mismatch: register programming skipped
+        }
+        let fully = self.map.fully_offline_groups(flags);
+        for g in 0..self.map.groups() {
+            let group = SubArrayGroup::new(g);
+            if !fully[g as usize] || self.registers.is_down(group) {
+                continue;
+            }
+            let ok = if self.cfg.neighbor_constraint {
+                let buddy = self.map.sense_amp_buddy(group);
+                fully.get(buddy.index()).copied().unwrap_or(false)
+            } else {
+                true
+            };
+            if ok {
+                self.registers.set(group, true, now)?;
+                // A fully-off-lined buddy that was previously blocked by this
+                // group can now power down too.
+                if self.cfg.neighbor_constraint {
+                    let buddy = self.map.sense_amp_buddy(group);
+                    if fully.get(buddy.index()).copied().unwrap_or(false) {
+                        self.registers.set(buddy, true, now)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SelectorPolicy;
+    use gd_mmsim::{MmConfig, PageKind};
+
+    /// 256 MB managed as 16 blocks of 16 MB and 16 groups of 16 MB.
+    fn setup(cfg: GreenDimmConfig) -> (Daemon, MemoryManager) {
+        let mm = MemoryManager::new(MmConfig::small_test()).unwrap();
+        let map = GroupMap::new(256 << 20, 16, 16 << 20).unwrap();
+        (Daemon::new(cfg, map), mm)
+    }
+
+    #[test]
+    fn idle_memory_gets_offlined_to_reserve() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        // Entirely free machine: the daemon drains free memory down to the
+        // 10% reserve (plus one block of slack) over a few ticks.
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        let info = mm.meminfo();
+        let reserve = (0.10 * info.installed_pages as f64) as u64;
+        assert!(info.free_pages >= reserve);
+        assert!(
+            info.free_pages <= reserve + 2 * mm.block_pages(),
+            "free {} should be near reserve {reserve}",
+            info.free_pages
+        );
+        assert!(mm.offline_block_count() >= 12);
+        // Deep power-down engaged for fully-off-lined groups.
+        assert!(d.deep_pd_fraction() > 0.5);
+    }
+
+    #[test]
+    fn allocation_pressure_triggers_onlining() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        let offlined = mm.offline_block_count();
+        assert!(offlined > 0);
+        // Consume nearly all free memory.
+        let free = mm.meminfo().free_pages;
+        mm.allocate(free - 100, PageKind::UserMovable).unwrap();
+        d.tick(SimTime::from_secs(30), &mut mm).unwrap();
+        assert!(
+            mm.offline_block_count() < offlined,
+            "daemon must on-line blocks under pressure"
+        );
+        assert!(d.stats.online_events > 0);
+        // Free memory restored to the off-threshold reserve.
+        let info = mm.meminfo();
+        assert!(info.free_pages >= (0.09 * info.installed_pages as f64) as u64);
+    }
+
+    #[test]
+    fn neighbor_constraint_delays_deep_pd() {
+        let mut cfg = GreenDimmConfig::paper_default();
+        cfg.neighbor_constraint = true;
+        cfg.max_attempts_per_tick = 1; // offline one block per tick
+        let (mut d, mut mm) = setup(cfg);
+        // After the first tick exactly one block (group) is off-line; its
+        // buddy is not, so no group may power down yet.
+        d.tick(SimTime::from_secs(0), &mut mm).unwrap();
+        assert_eq!(mm.offline_block_count(), 1);
+        assert_eq!(d.registers().down_count(), 0);
+        // The selector walks down from the top, so the second tick off-lines
+        // the buddy (15 then 14 form the pair {14,15}).
+        d.tick(SimTime::from_secs(1), &mut mm).unwrap();
+        assert_eq!(mm.offline_block_count(), 2);
+        assert_eq!(d.registers().down_count(), 2);
+    }
+
+    #[test]
+    fn without_neighbor_constraint_single_group_powers_down() {
+        let mut cfg = GreenDimmConfig::paper_default();
+        cfg.neighbor_constraint = false;
+        cfg.max_attempts_per_tick = 1;
+        let (mut d, mut mm) = setup(cfg);
+        d.tick(SimTime::from_secs(0), &mut mm).unwrap();
+        assert_eq!(d.registers().down_count(), 1);
+    }
+
+    #[test]
+    fn free_policy_never_fails() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        mm.allocate(10_000, PageKind::UserMovable).unwrap();
+        for s in 0..30 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert_eq!(d.stats.failures(), 0, "FreeRemovableFirst cannot fail");
+    }
+
+    #[test]
+    fn random_policy_fails_on_kernel_blocks() {
+        let cfg = GreenDimmConfig::paper_default().with_selector(SelectorPolicy::Random);
+        let mm_cfg = MmConfig {
+            transient_fail_prob: 0.3,
+            ..MmConfig::small_test()
+        };
+        let mut mm = MemoryManager::new(mm_cfg).unwrap();
+        let map = GroupMap::new(256 << 20, 16, 16 << 20).unwrap();
+        let mut d = Daemon::new(cfg, map);
+        // Kernel pages in the low blocks; app pages spread further up.
+        mm.allocate(2000, PageKind::KernelUnmovable).unwrap();
+        mm.allocate(20_000, PageKind::UserMovable).unwrap();
+        for s in 0..50 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert!(
+            d.stats.failures() > 0,
+            "random selection must hit busy/used blocks"
+        );
+    }
+
+    #[test]
+    fn adaptive_threshold_backs_off_after_stall() {
+        let mut cfg = GreenDimmConfig::paper_default();
+        cfg.adaptive_off_thr = true;
+        let (mut d, mut mm) = setup(cfg);
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert!((d.effective_off_thr() - 0.10).abs() < 1e-9, "quiet: stays at base");
+        // Provoke a stall: everything off-lined, then a large allocation.
+        d.handle_allocation_stall(SimTime::from_secs(30), &mut mm, 30_000)
+            .unwrap();
+        assert!(d.effective_off_thr() > 0.10, "stall raises the reserve");
+        // Long quiet period decays back toward the configured value.
+        let raised = d.effective_off_thr();
+        for s in 31..200 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert!(d.effective_off_thr() < raised);
+    }
+
+    #[test]
+    fn adaptive_threshold_disabled_by_default() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        d.handle_allocation_stall(SimTime::from_secs(1), &mut mm, 1_000)
+            .unwrap();
+        assert_eq!(d.effective_off_thr(), 0.10);
+    }
+
+    #[test]
+    fn hotplug_time_accumulates() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        let events = d.stats.hotplug_events();
+        assert!(events > 0);
+        // Free-block off-linings cost 1.58 ms each.
+        assert!(d.stats.hotplug_time >= SimTime::from_micros(1_580) * events);
+    }
+}

@@ -1,0 +1,43 @@
+//! GreenDIMM: OS-assisted DRAM power management with a sub-array
+//! granularity power-down state — the paper's core contribution.
+//!
+//! The pieces map one-to-one onto the paper's §4:
+//!
+//! * [`groupmap`] — the interleaving-agnostic power-management unit: memory
+//!   blocks ↔ sub-array groups spanning every channel, rank, and bank
+//!   (§4.1, Fig. 5);
+//! * [`daemon`] — `memory_usage_monitor()` and `block_selector()` driving
+//!   the kernel's memory on/off-lining (§4.2, §5.2);
+//! * [`registers`] — the 64-bit deep power-down register file in the memory
+//!   controller (§4.3);
+//! * [`selector`] — candidate-selection policies incl. the `removable`
+//!   optimization (Fig. 8);
+//! * [`cosim`] — the epoch-level co-simulation engine for system-scale
+//!   experiments;
+//! * [`system`] — the one-call convenience API.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use greendimm::{GreenDimmSystem, SystemConfig};
+//!
+//! let mut sys = GreenDimmSystem::new(SystemConfig::small_test());
+//! let report = sys.run_app("libquantum", 42);
+//! assert!(report.dram_energy_joules > 0.0);
+//! assert!(report.overhead_fraction < 0.05); // ~1% in the paper
+//! ```
+
+pub mod config;
+pub mod cosim;
+pub mod daemon;
+pub mod groupmap;
+pub mod registers;
+pub mod selector;
+pub mod system;
+
+pub use config::{GreenDimmConfig, SelectorPolicy};
+pub use cosim::{EpochSim, FootprintDriver};
+pub use daemon::{Daemon, DaemonStats, TickReport};
+pub use groupmap::GroupMap;
+pub use registers::{GroupRegisterFile, DEEP_PD_EXIT};
+pub use system::{AppRunReport, GreenDimmSystem, SystemConfig};

@@ -1,0 +1,181 @@
+//! The memory controller's sub-array deep power-down register file, as seen
+//! by the GreenDIMM daemon.
+//!
+//! One bit per sub-array group — 64 bits regardless of channel/rank count
+//! (§4.3) versus 128 bits for per-bank PASR masks on the same platform.
+//! Exit is asynchronous: after clearing a bit the daemon polls a ready bit
+//! before calling `online_pages()`; the deep power-down exit takes no
+//! longer than the 18 ns power-down exit because the DLL stays on.
+
+use gd_types::ids::SubArrayGroup;
+use gd_types::{GdError, Result, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Deep power-down exit latency (= power-down exit; the DLL stays on).
+pub const DEEP_PD_EXIT: SimTime = SimTime::from_nanos(18);
+
+/// The bit-vector register with per-group power-down state and residency
+/// accounting for the power model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupRegisterFile {
+    bits: Vec<bool>,
+    since: Vec<SimTime>,
+    accum: Vec<SimTime>,
+    /// Pending exit completion times (the "ready" bit source).
+    ready_at: Vec<SimTime>,
+}
+
+impl GroupRegisterFile {
+    /// Creates a register file for `groups` sub-array groups, all powered.
+    pub fn new(groups: u32) -> Self {
+        GroupRegisterFile {
+            bits: vec![false; groups as usize],
+            since: vec![SimTime::ZERO; groups as usize],
+            accum: vec![SimTime::ZERO; groups as usize],
+            ready_at: vec![SimTime::ZERO; groups as usize],
+        }
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Whether a group is in deep power-down.
+    pub fn is_down(&self, g: SubArrayGroup) -> bool {
+        self.bits.get(g.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of groups currently down.
+    pub fn down_count(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Fraction of groups currently down (feeds the power-gating model).
+    pub fn down_fraction(&self) -> f64 {
+        self.down_count() as f64 / self.bits.len().max(1) as f64
+    }
+
+    /// Sets a group's bit at time `now`. Entering is immediate; clearing
+    /// starts the exit and arms the ready bit [`DEEP_PD_EXIT`] later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdError::NotFound`] for an out-of-range group.
+    pub fn set(&mut self, g: SubArrayGroup, down: bool, now: SimTime) -> Result<()> {
+        let i = g.index();
+        if i >= self.bits.len() {
+            return Err(GdError::NotFound(g.to_string()));
+        }
+        if self.bits[i] == down {
+            return Ok(());
+        }
+        if down {
+            self.since[i] = now;
+        } else {
+            self.accum[i] += now.saturating_sub(self.since[i]);
+            self.ready_at[i] = now + DEEP_PD_EXIT;
+        }
+        self.bits[i] = down;
+        Ok(())
+    }
+
+    /// Polls the ready bit: true when the group has completed its exit and
+    /// can serve requests (the daemon polls this before `online_pages()`).
+    pub fn is_ready(&self, g: SubArrayGroup, now: SimTime) -> bool {
+        !self.is_down(g) && now >= self.ready_at[g.index()]
+    }
+
+    /// Total time group `g` has spent in deep power-down up to `now`.
+    pub fn residency(&self, g: SubArrayGroup, now: SimTime) -> SimTime {
+        let i = g.index();
+        let mut t = self.accum[i];
+        if self.bits[i] {
+            t += now.saturating_sub(self.since[i]);
+        }
+        t
+    }
+
+    /// Mean down-residency fraction across all groups over `[0, now]`.
+    pub fn mean_down_fraction(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO || self.bits.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.groups())
+            .map(|g| self.residency(SubArrayGroup::new(g), now).as_secs_f64())
+            .sum();
+        total / (now.as_secs_f64() * self.bits.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_64_bits_for_any_platform() {
+        // §4.3: GreenDIMM needs one bit per group regardless of topology.
+        let r = GroupRegisterFile::new(64);
+        assert_eq!(r.groups(), 64);
+        assert!(r.groups() < gd_power::subarray::PASR_REGISTER_BITS_REFERENCE);
+    }
+
+    #[test]
+    fn set_and_residency() {
+        let mut r = GroupRegisterFile::new(8);
+        let g = SubArrayGroup::new(3);
+        r.set(g, true, SimTime::from_secs(10)).unwrap();
+        assert!(r.is_down(g));
+        assert_eq!(r.down_count(), 1);
+        assert_eq!(
+            r.residency(g, SimTime::from_secs(25)),
+            SimTime::from_secs(15)
+        );
+        r.set(g, false, SimTime::from_secs(30)).unwrap();
+        assert_eq!(
+            r.residency(g, SimTime::from_secs(100)),
+            SimTime::from_secs(20)
+        );
+    }
+
+    #[test]
+    fn exit_arms_ready_bit() {
+        let mut r = GroupRegisterFile::new(4);
+        let g = SubArrayGroup::new(0);
+        let t0 = SimTime::from_secs(1);
+        r.set(g, true, t0).unwrap();
+        r.set(g, false, t0 + SimTime::from_secs(1)).unwrap();
+        let exit_start = t0 + SimTime::from_secs(1);
+        assert!(!r.is_ready(g, exit_start));
+        assert!(r.is_ready(g, exit_start + DEEP_PD_EXIT));
+    }
+
+    #[test]
+    fn idempotent_sets() {
+        let mut r = GroupRegisterFile::new(4);
+        let g = SubArrayGroup::new(1);
+        r.set(g, true, SimTime::from_secs(1)).unwrap();
+        r.set(g, true, SimTime::from_secs(2)).unwrap(); // no-op
+        r.set(g, false, SimTime::from_secs(3)).unwrap();
+        assert_eq!(
+            r.residency(g, SimTime::from_secs(10)),
+            SimTime::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn mean_down_fraction() {
+        let mut r = GroupRegisterFile::new(2);
+        r.set(SubArrayGroup::new(0), true, SimTime::ZERO).unwrap();
+        // Group 0 down for the whole window, group 1 never: mean 0.5.
+        let f = r.mean_down_fraction(SimTime::from_secs(10));
+        assert!((f - 0.5).abs() < 1e-9);
+        assert_eq!(r.down_fraction(), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut r = GroupRegisterFile::new(2);
+        assert!(r.set(SubArrayGroup::new(5), true, SimTime::ZERO).is_err());
+    }
+}

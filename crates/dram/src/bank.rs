@@ -1,0 +1,121 @@
+//! Per-bank row-buffer and timing state.
+
+use gd_types::config::DramTiming;
+
+/// Timing and row-buffer state of one bank (one logical bank across the
+/// rank's devices).
+#[derive(Debug, Clone)]
+pub(crate) struct BankState {
+    /// Currently open full row (sub-array and local row combined), if any.
+    pub open_row: Option<u32>,
+    /// Earliest cycle an ACT may be issued to this bank.
+    pub next_act: u64,
+    /// Earliest cycle a READ may be issued to this bank.
+    pub next_read: u64,
+    /// Earliest cycle a WRITE may be issued to this bank.
+    pub next_write: u64,
+    /// Earliest cycle a PRE may be issued to this bank.
+    pub next_pre: u64,
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        BankState {
+            open_row: None,
+            next_act: 0,
+            next_read: 0,
+            next_write: 0,
+            next_pre: 0,
+        }
+    }
+}
+
+impl BankState {
+    /// Applies the timing consequences of an ACT issued at `now`.
+    pub fn on_activate(&mut self, now: u64, row: u32, t: &DramTiming) {
+        self.open_row = Some(row);
+        self.next_read = self.next_read.max(now + t.t_rcd);
+        self.next_write = self.next_write.max(now + t.t_rcd);
+        self.next_pre = self.next_pre.max(now + t.t_ras);
+        self.next_act = self.next_act.max(now + t.t_rc);
+    }
+
+    /// Applies the timing consequences of a READ issued at `now`.
+    pub fn on_read(&mut self, now: u64, t: &DramTiming) {
+        // Read-to-precharge.
+        self.next_pre = self.next_pre.max(now + t.t_rtp);
+    }
+
+    /// Applies the timing consequences of a WRITE issued at `now`.
+    pub fn on_write(&mut self, now: u64, t: &DramTiming) {
+        // Write recovery: data end (CWL + BL/2) plus tWR before precharge.
+        self.next_pre = self
+            .next_pre
+            .max(now + t.cwl + t.burst_cycles() + t.t_wr);
+    }
+
+    /// Applies the timing consequences of a PRE issued at `now`.
+    pub fn on_precharge(&mut self, now: u64, t: &DramTiming) {
+        self.open_row = None;
+        self.next_act = self.next_act.max(now + t.t_rp);
+    }
+
+    /// Blocks the bank until `until` (used by refresh).
+    pub fn block_until(&mut self, until: u64) {
+        self.next_act = self.next_act.max(until);
+        self.next_read = self.next_read.max(until);
+        self.next_write = self.next_write.max(until);
+        self.next_pre = self.next_pre.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> DramTiming {
+        DramTiming::ddr4_2133_4gb()
+    }
+
+    #[test]
+    fn activate_opens_row_and_sets_constraints() {
+        let t = timing();
+        let mut b = BankState::default();
+        b.on_activate(100, 7, &t);
+        assert_eq!(b.open_row, Some(7));
+        assert_eq!(b.next_read, 100 + t.t_rcd);
+        assert_eq!(b.next_pre, 100 + t.t_ras);
+        assert_eq!(b.next_act, 100 + t.t_rc);
+    }
+
+    #[test]
+    fn precharge_closes_row() {
+        let t = timing();
+        let mut b = BankState::default();
+        b.on_activate(0, 3, &t);
+        b.on_precharge(50, &t);
+        assert_eq!(b.open_row, None);
+        assert!(b.next_act >= 50 + t.t_rp);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge_more_than_read() {
+        let t = timing();
+        let mut rd = BankState::default();
+        rd.on_activate(0, 0, &t);
+        rd.on_read(20, &t);
+        let mut wr = BankState::default();
+        wr.on_activate(0, 0, &t);
+        wr.on_write(20, &t);
+        assert!(wr.next_pre > rd.next_pre);
+    }
+
+    #[test]
+    fn block_until_is_monotone() {
+        let mut b = BankState::default();
+        b.block_until(500);
+        b.block_until(100);
+        assert_eq!(b.next_act, 500);
+        assert_eq!(b.next_read, 500);
+    }
+}

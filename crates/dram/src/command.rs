@@ -1,0 +1,165 @@
+//! DRAM command vocabulary and per-command energy event tags.
+
+use gd_types::ids::DramCoord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The DDR4 command set (the subset the simulator issues), plus the mode
+/// register write GreenDIMM uses to program the sub-array power-down bit
+/// vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Activate a row (copy it into the bank's row buffer).
+    Activate,
+    /// Read a burst from the open row.
+    Read,
+    /// Write a burst to the open row.
+    Write,
+    /// Precharge one bank (close its row).
+    Precharge,
+    /// Precharge all banks in a rank.
+    PrechargeAll,
+    /// Rank-level auto-refresh.
+    Refresh,
+    /// Enter power-down (CKE low).
+    PowerDownEnter,
+    /// Exit power-down (CKE high).
+    PowerDownExit,
+    /// Enter self-refresh.
+    SelfRefreshEnter,
+    /// Exit self-refresh.
+    SelfRefreshExit,
+    /// Mode-register set — used to program PASR bank masks and GreenDIMM's
+    /// sub-array-group deep power-down bit vector.
+    ModeRegisterSet,
+}
+
+impl DramCommand {
+    /// True for the column commands that move data on the bus.
+    pub fn is_column(self) -> bool {
+        matches!(self, DramCommand::Read | DramCommand::Write)
+    }
+
+    /// True for commands that require the target rank to be awake
+    /// (CKE high and not in self-refresh).
+    pub fn requires_awake(self) -> bool {
+        !matches!(
+            self,
+            DramCommand::PowerDownExit | DramCommand::SelfRefreshExit
+        )
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DramCommand::Activate => "ACT",
+            DramCommand::Read => "RD",
+            DramCommand::Write => "WR",
+            DramCommand::Precharge => "PRE",
+            DramCommand::PrechargeAll => "PREA",
+            DramCommand::Refresh => "REF",
+            DramCommand::PowerDownEnter => "PDE",
+            DramCommand::PowerDownExit => "PDX",
+            DramCommand::SelfRefreshEnter => "SRE",
+            DramCommand::SelfRefreshExit => "SRX",
+            DramCommand::ModeRegisterSet => "MRS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory request presented to the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Physical byte address (cache-line aligned by the controller).
+    pub addr: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Arrival time in memory-clock cycles.
+    pub arrival: u64,
+}
+
+/// Read/write discriminator for [`MemRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A demand read (latency-critical).
+    Read,
+    /// A writeback (posted; latency not tracked against the CPU model).
+    Write,
+}
+
+impl MemRequest {
+    /// Creates a read request.
+    pub fn read(addr: u64, arrival: u64) -> Self {
+        MemRequest {
+            addr,
+            kind: AccessKind::Read,
+            arrival,
+        }
+    }
+
+    /// Creates a write request.
+    pub fn write(addr: u64, arrival: u64) -> Self {
+        MemRequest {
+            addr,
+            kind: AccessKind::Write,
+            arrival,
+        }
+    }
+}
+
+/// A request in flight inside the controller, with its decoded coordinates
+/// and progress state.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRequest {
+    pub req: MemRequest,
+    pub coord: DramCoord,
+    /// Cycle the request entered the controller queue.
+    pub enqueued_at: u64,
+    /// Progress through the ACT → column-command sequence.
+    pub phase: RequestPhase,
+}
+
+/// Progress of a pending request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RequestPhase {
+    /// Needs its row activated (row miss, or bank closed).
+    NeedsActivate,
+    /// Row is open; needs its READ/WRITE issued.
+    NeedsColumn,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mnemonics() {
+        assert_eq!(DramCommand::Activate.to_string(), "ACT");
+        assert_eq!(DramCommand::SelfRefreshExit.to_string(), "SRX");
+    }
+
+    #[test]
+    fn column_classification() {
+        assert!(DramCommand::Read.is_column());
+        assert!(DramCommand::Write.is_column());
+        assert!(!DramCommand::Activate.is_column());
+    }
+
+    #[test]
+    fn awake_requirement() {
+        assert!(DramCommand::Activate.requires_awake());
+        assert!(!DramCommand::PowerDownExit.requires_awake());
+        assert!(!DramCommand::SelfRefreshExit.requires_awake());
+    }
+
+    #[test]
+    fn request_constructors() {
+        let r = MemRequest::read(0x40, 10);
+        assert_eq!(r.kind, AccessKind::Read);
+        let w = MemRequest::write(0x80, 20);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.arrival, 20);
+    }
+}

@@ -1,0 +1,63 @@
+//! Controller low-power policy knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Idle-timeout policy for rank low-power states, as implemented by
+/// commodity memory controllers: after `pd_timeout` idle cycles a rank
+/// enters power-down; after `sr_timeout` idle cycles it is promoted to
+/// self-refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LowPowerPolicy {
+    /// Idle cycles before entering power-down. `None` disables power-down.
+    pub pd_timeout: Option<u64>,
+    /// Idle cycles before entering self-refresh. `None` disables it.
+    pub sr_timeout: Option<u64>,
+}
+
+impl LowPowerPolicy {
+    /// The paper's baseline controller: power-down after ~64 idle memory
+    /// cycles, self-refresh after ~9.4 µs (10 000 cycles at DDR4-2133).
+    pub fn srf_default() -> Self {
+        LowPowerPolicy {
+            pd_timeout: Some(64),
+            sr_timeout: Some(10_000),
+        }
+    }
+
+    /// Low-power states disabled entirely (for isolating GreenDIMM's own
+    /// savings, and for the `w/ intlv` runs where no rank would enter them
+    /// anyway).
+    pub fn disabled() -> Self {
+        LowPowerPolicy {
+            pd_timeout: None,
+            sr_timeout: None,
+        }
+    }
+
+    /// An aggressive policy for stress tests.
+    pub fn aggressive() -> Self {
+        LowPowerPolicy {
+            pd_timeout: Some(16),
+            sr_timeout: Some(1_000),
+        }
+    }
+}
+
+impl Default for LowPowerPolicy {
+    fn default() -> Self {
+        Self::srf_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let d = LowPowerPolicy::default();
+        assert_eq!(d, LowPowerPolicy::srf_default());
+        assert!(d.pd_timeout.unwrap() < d.sr_timeout.unwrap());
+        assert_eq!(LowPowerPolicy::disabled().pd_timeout, None);
+    }
+}

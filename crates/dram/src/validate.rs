@@ -1,0 +1,333 @@
+//! Command-log recording and independent timing validation.
+//!
+//! The controller can record every command it issues; the [`TimingChecker`]
+//! then replays the log against the JEDEC constraints *independently* of
+//! the scheduler's own bookkeeping. Any scheduler bug that issues a command
+//! early surfaces as a [`TimingViolation`] instead of silently producing
+//! optimistic latencies.
+
+use crate::command::DramCommand;
+use gd_types::config::DramTiming;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One logged command issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandRecord {
+    /// Issue cycle.
+    pub cycle: u64,
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Flat bank index within the rank (bank group × banks + bank), or 0
+    /// for rank-level commands.
+    pub bank: u32,
+    /// Bank group index (for tRRD_L/tCCD_L checks).
+    pub bank_group: u32,
+    /// The command.
+    pub command: DramCommand,
+}
+
+/// A detected timing violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingViolation {
+    /// The offending record.
+    pub record: CommandRecord,
+    /// Which constraint was violated.
+    pub constraint: &'static str,
+    /// Earliest legal cycle.
+    pub earliest_legal: u64,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at cycle {} on ch{}/r{}/b{} violates {} (earliest legal {})",
+            self.record.command,
+            self.record.cycle,
+            self.record.channel,
+            self.record.rank,
+            self.record.bank,
+            self.constraint,
+            self.earliest_legal
+        )
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankTrack {
+    last_act: Option<u64>,
+    last_read: Option<u64>,
+    last_write: Option<u64>,
+    last_pre: Option<u64>,
+    open: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RankTrack {
+    acts: VecDeque<u64>,
+    last_act_any: Option<u64>,
+    last_act_bg: Vec<Option<u64>>,
+    last_ref: Option<u64>,
+}
+
+/// Replays a command log and reports every timing violation.
+#[derive(Debug)]
+pub struct TimingChecker {
+    timing: DramTiming,
+    banks_per_rank: u32,
+}
+
+impl TimingChecker {
+    /// Creates a checker.
+    pub fn new(timing: DramTiming, bank_groups: u32, banks_per_group: u32) -> Self {
+        TimingChecker {
+            timing,
+            banks_per_rank: bank_groups * banks_per_group,
+        }
+    }
+
+    /// Checks a log (commands of one channel must appear in cycle order).
+    /// Returns all violations found.
+    pub fn check(&self, log: &[CommandRecord]) -> Vec<TimingViolation> {
+        let t = &self.timing;
+        let mut violations = Vec::new();
+        let mut banks: std::collections::HashMap<(u32, u32, u32), BankTrack> =
+            std::collections::HashMap::new();
+        let mut ranks: std::collections::HashMap<(u32, u32), RankTrack> =
+            std::collections::HashMap::new();
+        let mut last_cycle: std::collections::HashMap<u32, u64> =
+            std::collections::HashMap::new();
+
+        for rec in log {
+            if let Some(prev) = last_cycle.get(&rec.channel) {
+                if rec.cycle < *prev {
+                    violations.push(TimingViolation {
+                        record: *rec,
+                        constraint: "log order (per channel)",
+                        earliest_legal: *prev,
+                    });
+                }
+            }
+            last_cycle.insert(rec.channel, rec.cycle);
+            let bank_key = (rec.channel, rec.rank, rec.bank);
+            let rank_key = (rec.channel, rec.rank);
+            let rank = ranks.entry(rank_key).or_insert_with(|| RankTrack {
+                last_act_bg: vec![None; 16],
+                ..Default::default()
+            });
+            fn gap_violation(
+                rec: &CommandRecord,
+                cond: Option<u64>,
+                constraint: &'static str,
+                min_gap: u64,
+            ) -> Option<TimingViolation> {
+                let prev = cond?;
+                (rec.cycle < prev + min_gap).then(|| TimingViolation {
+                    record: *rec,
+                    constraint,
+                    earliest_legal: prev + min_gap,
+                })
+            }
+            let check = |cond: Option<u64>, constraint: &'static str, min_gap: u64| {
+                gap_violation(rec, cond, constraint, min_gap)
+            };
+            let mut pending: Vec<TimingViolation> = Vec::new();
+            match rec.command {
+                DramCommand::Activate => {
+                    let bank = banks.entry(bank_key).or_default();
+                    pending.extend(check(bank.last_act, "tRC", t.t_rc));
+                    pending.extend(check(bank.last_pre, "tRP", t.t_rp));
+                    pending.extend(check(rank.last_act_any, "tRRD_S", t.t_rrd_s));
+                    pending.extend(check(
+                        rank.last_act_bg
+                            .get(rec.bank_group as usize)
+                            .copied()
+                            .flatten(),
+                        "tRRD_L",
+                        t.t_rrd_l,
+                    ));
+                    pending.extend(check(rank.last_ref, "tRFC", t.t_rfc));
+                    if rank.acts.len() >= 4 {
+                        let fourth_back = rank.acts[rank.acts.len() - 4];
+                        if rec.cycle < fourth_back + t.t_faw {
+                            pending.push(TimingViolation {
+                                record: *rec,
+                                constraint: "tFAW",
+                                earliest_legal: fourth_back + t.t_faw,
+                            });
+                        }
+                    }
+                    let bank = banks.entry(bank_key).or_default();
+                    bank.last_act = Some(rec.cycle);
+                    bank.open = true;
+                    rank.last_act_any = Some(rec.cycle);
+                    if (rec.bank_group as usize) < rank.last_act_bg.len() {
+                        rank.last_act_bg[rec.bank_group as usize] = Some(rec.cycle);
+                    }
+                    rank.acts.push_back(rec.cycle);
+                    if rank.acts.len() > 8 {
+                        rank.acts.pop_front();
+                    }
+                }
+                DramCommand::Read | DramCommand::Write => {
+                    let bank = banks.entry(bank_key).or_default();
+                    if !bank.open {
+                        pending.push(TimingViolation {
+                            record: *rec,
+                            constraint: "column to closed bank",
+                            earliest_legal: rec.cycle,
+                        });
+                    }
+                    pending.extend(check(bank.last_act, "tRCD", t.t_rcd));
+                    let bank = banks.entry(bank_key).or_default();
+                    if rec.command == DramCommand::Read {
+                        bank.last_read = Some(rec.cycle);
+                    } else {
+                        bank.last_write = Some(rec.cycle);
+                    }
+                }
+                DramCommand::Precharge => {
+                    let bank = banks.entry(bank_key).or_default();
+                    pending.extend(check(bank.last_act, "tRAS", t.t_ras));
+                    pending.extend(check(bank.last_read, "tRTP", t.t_rtp));
+                    if let Some(w) = bank.last_write {
+                        let min = t.cwl + t.burst_cycles() + t.t_wr;
+                        if rec.cycle < w + min {
+                            pending.push(TimingViolation {
+                                record: *rec,
+                                constraint: "tWR",
+                                earliest_legal: w + min,
+                            });
+                        }
+                    }
+                    let bank = banks.entry(bank_key).or_default();
+                    bank.last_pre = Some(rec.cycle);
+                    bank.open = false;
+                }
+                DramCommand::Refresh => {
+                    // All banks of the rank must be precharged.
+                    for b in 0..self.banks_per_rank {
+                        if banks
+                            .get(&(rec.channel, rec.rank, b))
+                            .map(|bk| bk.open)
+                            .unwrap_or(false)
+                        {
+                            pending.push(TimingViolation {
+                                record: *rec,
+                                constraint: "REF with open bank",
+                                earliest_legal: rec.cycle,
+                            });
+                        }
+                    }
+                    pending.extend(check(rank.last_ref, "tRFC (back-to-back REF)", t.t_rfc));
+                    rank.last_ref = Some(rec.cycle);
+                }
+                _ => {}
+            }
+            violations.append(&mut pending);
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> TimingChecker {
+        TimingChecker::new(DramTiming::ddr4_2133_4gb(), 4, 4)
+    }
+
+    fn rec(cycle: u64, bank: u32, bg: u32, command: DramCommand) -> CommandRecord {
+        CommandRecord {
+            cycle,
+            channel: 0,
+            rank: 0,
+            bank,
+            bank_group: bg,
+            command,
+        }
+    }
+
+    #[test]
+    fn legal_sequence_passes() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            rec(0, 0, 0, DramCommand::Activate),
+            rec(t.t_rcd, 0, 0, DramCommand::Read),
+            rec(t.t_ras, 0, 0, DramCommand::Precharge),
+            rec(t.t_ras + t.t_rp, 0, 0, DramCommand::Activate),
+        ];
+        assert!(checker().check(&log).is_empty());
+    }
+
+    #[test]
+    fn early_read_violates_trcd() {
+        let log = vec![
+            rec(0, 0, 0, DramCommand::Activate),
+            rec(5, 0, 0, DramCommand::Read),
+        ];
+        let v = checker().check(&log);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].constraint, "tRCD");
+        assert!(v[0].to_string().contains("tRCD"));
+    }
+
+    #[test]
+    fn early_precharge_violates_tras() {
+        let log = vec![
+            rec(0, 0, 0, DramCommand::Activate),
+            rec(10, 0, 0, DramCommand::Precharge),
+        ];
+        let v = checker().check(&log);
+        assert!(v.iter().any(|x| x.constraint == "tRAS"));
+    }
+
+    #[test]
+    fn five_acts_in_window_violate_tfaw() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let mut log = Vec::new();
+        // Five ACTs spaced by exactly tRRD_L in distinct bank groups of two
+        // alternating groups — the 5th lands inside the tFAW window.
+        for i in 0..5u64 {
+            log.push(rec(i * t.t_rrd_l, i as u32 % 4, (i % 4) as u32, DramCommand::Activate));
+        }
+        let v = checker().check(&log);
+        assert!(
+            v.iter().any(|x| x.constraint == "tFAW"),
+            "violations: {v:?}"
+        );
+    }
+
+    #[test]
+    fn column_to_closed_bank_detected() {
+        let log = vec![rec(100, 2, 0, DramCommand::Read)];
+        let v = checker().check(&log);
+        assert!(v.iter().any(|x| x.constraint == "column to closed bank"));
+    }
+
+    #[test]
+    fn refresh_with_open_bank_detected() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            rec(0, 1, 0, DramCommand::Activate),
+            rec(t.t_ras, 0, 0, DramCommand::Refresh),
+        ];
+        let v = checker().check(&log);
+        assert!(v.iter().any(|x| x.constraint == "REF with open bank"));
+    }
+
+    #[test]
+    fn out_of_order_log_detected() {
+        let log = vec![
+            rec(100, 0, 0, DramCommand::Activate),
+            rec(50, 1, 1, DramCommand::Activate),
+        ];
+        let v = checker().check(&log);
+        assert!(v.iter().any(|x| x.constraint.starts_with("log order")));
+    }
+}

@@ -1,0 +1,263 @@
+//! A hot-pluggable memory block: the kernel's unit of on/off-lining.
+
+use crate::buddy::BuddyAllocator;
+use crate::frame::{AllocationId, PageKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One allocated buddy chunk inside a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Owning allocation.
+    pub owner: AllocationId,
+    /// Page kind (decides movability).
+    pub kind: PageKind,
+    /// Buddy order (`2^order` pages).
+    pub order: u8,
+}
+
+/// A contiguous, block-aligned range of physical memory that the kernel can
+/// on/off-line as a unit (default 128 MB in Linux; GreenDIMM sizes it to one
+/// or more sub-array groups).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemoryBlock {
+    index: usize,
+    pages: u32,
+    online: bool,
+    buddy: BuddyAllocator,
+    chunks: BTreeMap<u32, Chunk>,
+    movable_pages: u64,
+    unmovable_pages: u64,
+    pinned_pages: u64,
+}
+
+/// A read-only snapshot of a block's state, as exposed through sysfs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Block index.
+    pub index: usize,
+    /// Whether the block is online.
+    pub online: bool,
+    /// The sysfs `removable` flag: true iff the block contains no unmovable
+    /// or pinned pages (§5.2).
+    pub removable: bool,
+    /// Pages in use.
+    pub used_pages: u64,
+    /// Pages free.
+    pub free_pages: u64,
+    /// Total pages.
+    pub total_pages: u64,
+}
+
+impl MemoryBlock {
+    /// Creates an online block of `pages` pages.
+    pub fn new(index: usize, pages: u32) -> Self {
+        MemoryBlock {
+            index,
+            pages,
+            online: true,
+            buddy: BuddyAllocator::new(pages),
+            chunks: BTreeMap::new(),
+            movable_pages: 0,
+            unmovable_pages: 0,
+            pinned_pages: 0,
+        }
+    }
+
+    /// Block index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Whether the block is online.
+    pub fn online(&self) -> bool {
+        self.online
+    }
+
+    /// Sets the online state (the manager enforces the transition rules).
+    pub(crate) fn set_online(&mut self, online: bool) {
+        self.online = online;
+    }
+
+    /// Total pages.
+    pub fn total_pages(&self) -> u64 {
+        self.pages as u64
+    }
+
+    /// Free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.buddy.free_pages() as u64
+    }
+
+    /// Used pages.
+    pub fn used_pages(&self) -> u64 {
+        self.movable_pages + self.unmovable_pages + self.pinned_pages
+    }
+
+    /// Movable used pages.
+    pub fn movable_pages(&self) -> u64 {
+        self.movable_pages
+    }
+
+    /// Unmovable + pinned pages.
+    pub fn unmovable_pages(&self) -> u64 {
+        self.unmovable_pages + self.pinned_pages
+    }
+
+    /// The sysfs `removable` flag.
+    pub fn removable(&self) -> bool {
+        self.unmovable_pages() == 0
+    }
+
+    /// True when no page is in use.
+    pub fn is_free(&self) -> bool {
+        self.used_pages() == 0
+    }
+
+    /// Largest buddy order currently allocatable in this block.
+    pub fn max_free_order(&self) -> Option<u8> {
+        self.buddy.max_free_order()
+    }
+
+    /// Snapshot for the sysfs-style API.
+    pub fn info(&self) -> BlockInfo {
+        BlockInfo {
+            index: self.index,
+            online: self.online,
+            removable: self.removable(),
+            used_pages: self.used_pages(),
+            free_pages: self.free_pages(),
+            total_pages: self.total_pages(),
+        }
+    }
+
+    /// Allocates up to `pages` pages for `owner`; returns `(offset, order)`
+    /// chunks actually placed (possibly fewer pages than requested).
+    pub fn alloc_chunks(
+        &mut self,
+        pages: u64,
+        owner: AllocationId,
+        kind: PageKind,
+    ) -> Vec<(u32, u8)> {
+        debug_assert!(self.online);
+        let chunks = self.buddy.alloc_pages(pages);
+        for (off, order) in &chunks {
+            self.chunks.insert(*off, Chunk { owner, kind, order: *order });
+            let n = 1u64 << order;
+            match kind {
+                PageKind::UserMovable => self.movable_pages += n,
+                PageKind::KernelUnmovable => self.unmovable_pages += n,
+                PageKind::Pinned => self.pinned_pages += n,
+            }
+        }
+        chunks
+    }
+
+    /// Frees the chunk at `offset`, returning its metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chunk starts at `offset`.
+    pub fn free_chunk(&mut self, offset: u32) -> Chunk {
+        let chunk = self
+            .chunks
+            .remove(&offset)
+            .expect("free of unknown chunk offset");
+        self.buddy.free(offset, chunk.order);
+        let n = 1u64 << chunk.order;
+        match chunk.kind {
+            PageKind::UserMovable => self.movable_pages -= n,
+            PageKind::KernelUnmovable => self.unmovable_pages -= n,
+            PageKind::Pinned => self.pinned_pages -= n,
+        }
+        chunk
+    }
+
+    /// Splits the chunk at `offset` into its two buddy halves (both remain
+    /// allocated to the same owner). Returns the offsets of the halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chunk starts at `offset` or the chunk is order 0.
+    pub fn split_chunk(&mut self, offset: u32) -> (u32, u32) {
+        let chunk = *self.chunks.get(&offset).expect("split of unknown chunk");
+        assert!(chunk.order > 0, "cannot split an order-0 chunk");
+        let half = Chunk {
+            order: chunk.order - 1,
+            ..chunk
+        };
+        let upper = offset + (1u32 << half.order);
+        self.chunks.insert(offset, half);
+        self.chunks.insert(upper, half);
+        (offset, upper)
+    }
+
+    /// Offsets of all chunks currently in the block (ascending).
+    pub fn chunk_offsets(&self) -> Vec<u32> {
+        self.chunks.keys().copied().collect()
+    }
+
+    /// The chunk starting at `offset`, if any.
+    pub fn chunk_at(&self, offset: u32) -> Option<&Chunk> {
+        self.chunks.get(&offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> MemoryBlock {
+        MemoryBlock::new(0, 4096)
+    }
+
+    #[test]
+    fn fresh_block_is_free_and_removable() {
+        let b = block();
+        assert!(b.is_free());
+        assert!(b.removable());
+        assert!(b.online());
+        assert_eq!(b.free_pages(), 4096);
+    }
+
+    #[test]
+    fn unmovable_chunk_clears_removable() {
+        let mut b = block();
+        b.alloc_chunks(16, AllocationId(1), PageKind::KernelUnmovable);
+        assert!(!b.removable());
+        assert_eq!(b.unmovable_pages(), 16);
+        let info = b.info();
+        assert!(!info.removable);
+        assert_eq!(info.used_pages, 16);
+    }
+
+    #[test]
+    fn movable_chunks_keep_removable() {
+        let mut b = block();
+        b.alloc_chunks(100, AllocationId(2), PageKind::UserMovable);
+        assert!(b.removable());
+        assert!(!b.is_free());
+        assert_eq!(b.movable_pages(), 100);
+    }
+
+    #[test]
+    fn free_chunk_restores_accounting() {
+        let mut b = block();
+        let chunks = b.alloc_chunks(64, AllocationId(3), PageKind::UserMovable);
+        for (off, _) in chunks {
+            let c = b.free_chunk(off);
+            assert_eq!(c.owner, AllocationId(3));
+        }
+        assert!(b.is_free());
+        assert_eq!(b.free_pages(), 4096);
+    }
+
+    #[test]
+    fn pinned_counts_as_unmovable() {
+        let mut b = block();
+        b.alloc_chunks(8, AllocationId(4), PageKind::Pinned);
+        assert!(!b.removable());
+        assert_eq!(b.unmovable_pages(), 8);
+        assert_eq!(b.movable_pages(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Page ownership vocabulary: allocation handles, page kinds, and hotplug
+//! outcome types.
+
+use gd_types::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base page size (4 KB), as on the paper's x86 server.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A handle identifying one logical allocation (a process heap region, a
+/// VM's guest memory, a kernel object pool, ...).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AllocationId(pub u64);
+
+impl fmt::Display for AllocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc{}", self.0)
+    }
+}
+
+/// What kind of pages an allocation holds, which determines whether its
+/// memory block can be off-lined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// User/anonymous pages that the kernel can migrate.
+    UserMovable,
+    /// Kernel allocations (slab, page tables) — not migratable.
+    KernelUnmovable,
+    /// Device-pinned pages (DMA targets) — not migratable.
+    Pinned,
+}
+
+impl PageKind {
+    /// Whether pages of this kind can be migrated away during off-lining.
+    pub fn is_movable(self) -> bool {
+        matches!(self, PageKind::UserMovable)
+    }
+}
+
+/// Why a memory-block off-lining attempt failed, mirroring the kernel's
+/// errno values (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OfflineErrno {
+    /// Isolation failed: the block holds unmovable or pinned pages.
+    Busy,
+    /// Transient: page migration could not complete after three attempts
+    /// (e.g. no space to migrate into).
+    Again,
+}
+
+/// The result of a successful off-lining.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineReport {
+    /// Wall-clock cost of the operation.
+    pub latency: SimTime,
+    /// Pages migrated out of the block (0 when the block was entirely free,
+    /// which is the only case GreenDIMM's selector chooses).
+    pub migrated_pages: u64,
+}
+
+/// The result of a failed off-lining, including the time wasted — EAGAIN
+/// failures cost ~3× a successful off-lining (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineFailure {
+    /// Which errno the kernel returned.
+    pub errno: OfflineErrno,
+    /// Wall-clock cost of the failed attempt.
+    pub latency: SimTime,
+}
+
+impl fmt::Display for OfflineFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.errno {
+            OfflineErrno::Busy => write!(f, "off-lining failed with EBUSY after {}", self.latency),
+            OfflineErrno::Again => {
+                write!(f, "off-lining failed with EAGAIN after {}", self.latency)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movability() {
+        assert!(PageKind::UserMovable.is_movable());
+        assert!(!PageKind::KernelUnmovable.is_movable());
+        assert!(!PageKind::Pinned.is_movable());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AllocationId(7).to_string(), "alloc7");
+        let f = OfflineFailure {
+            errno: OfflineErrno::Again,
+            latency: SimTime::from_millis(4),
+        };
+        assert!(f.to_string().contains("EAGAIN"));
+    }
+}

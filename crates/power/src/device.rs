@@ -1,0 +1,125 @@
+//! Per-device IDD current parameters (the Micron power-calculator
+//! methodology the paper's CACTI/RAPL numbers stand in for).
+
+use serde::{Deserialize, Serialize};
+
+/// IDD currents (mA) and supply voltage for one DRAM device, as specified in
+/// DDR4 datasheets. Energy is integrated from these plus the timing
+/// parameters, following the standard DRAM power-calculation methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IddParams {
+    /// Core supply voltage (V).
+    pub vdd: f64,
+    /// One-bank ACT-PRE cycling current.
+    pub idd0: f64,
+    /// Precharge standby current (CKE high, all banks closed).
+    pub idd2n: f64,
+    /// Precharge power-down current (CKE low).
+    pub idd2p: f64,
+    /// Active standby current (a row open).
+    pub idd3n: f64,
+    /// Active power-down current.
+    pub idd3p: f64,
+    /// Burst read current.
+    pub idd4r: f64,
+    /// Burst write current.
+    pub idd4w: f64,
+    /// Burst refresh current.
+    pub idd5b: f64,
+    /// Self-refresh current.
+    pub idd6: f64,
+    /// I/O and termination power per data pin during a burst (mW) —
+    /// an aggregate covering output drivers and ODT.
+    pub io_mw_per_dq: f64,
+    /// Static power of DIMM-level support circuitry amortized per device
+    /// (register/PLL on RDIMMs), in mW. Calibrates total idle power to the
+    /// paper's measured 18 W at 256 GB.
+    pub dimm_static_mw: f64,
+}
+
+impl IddParams {
+    /// Typical currents for a 4Gb ×8 DDR4-2133 device.
+    pub fn ddr4_2133_4gb_x8() -> Self {
+        IddParams {
+            vdd: 1.2,
+            idd0: 58.0,
+            idd2n: 34.0,
+            idd2p: 22.0,
+            idd3n: 48.0,
+            idd3p: 34.0,
+            idd4r: 150.0,
+            idd4w: 140.0,
+            idd5b: 190.0,
+            idd6: 14.0,
+            io_mw_per_dq: 5.0,
+            dimm_static_mw: 20.0,
+        }
+    }
+
+    /// Typical currents for an 8Gb ×4 DDR4-2133 device (higher-density die;
+    /// fewer DQs per device but more devices per rank).
+    pub fn ddr4_2133_8gb_x4() -> Self {
+        IddParams {
+            vdd: 1.2,
+            idd0: 55.0,
+            idd2n: 32.0,
+            idd2p: 20.0,
+            idd3n: 45.0,
+            idd3p: 32.0,
+            idd4r: 115.0,
+            idd4w: 105.0,
+            idd5b: 215.0,
+            idd6: 16.0,
+            io_mw_per_dq: 5.0,
+            dimm_static_mw: 20.0,
+        }
+    }
+
+    /// Background power (W) of one device in precharge standby.
+    pub fn precharge_standby_w(&self) -> f64 {
+        self.vdd * self.idd2n * 1e-3 + self.dimm_static_mw * 1e-3
+    }
+
+    /// Background power (W) of one device in active standby.
+    pub fn active_standby_w(&self) -> f64 {
+        self.vdd * self.idd3n * 1e-3 + self.dimm_static_mw * 1e-3
+    }
+
+    /// Background power (W) of one device in precharge power-down.
+    pub fn power_down_w(&self) -> f64 {
+        self.vdd * self.idd2p * 1e-3 + self.dimm_static_mw * 1e-3
+    }
+
+    /// Background power (W) of one device in self-refresh (includes its
+    /// internal refresh current).
+    pub fn self_refresh_w(&self) -> f64 {
+        self.vdd * self.idd6 * 1e-3 + self.dimm_static_mw * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_power_ordering() {
+        for p in [
+            IddParams::ddr4_2133_4gb_x8(),
+            IddParams::ddr4_2133_8gb_x4(),
+        ] {
+            assert!(p.active_standby_w() > p.precharge_standby_w());
+            assert!(p.precharge_standby_w() > p.power_down_w());
+            assert!(p.power_down_w() > p.self_refresh_w());
+        }
+    }
+
+    #[test]
+    fn self_refresh_is_small_fraction_of_active() {
+        let p = IddParams::ddr4_2133_4gb_x8();
+        // Paper §2.2: self-refresh consumes "down to 10%" of active power
+        // (before the DIMM static floor).
+        let core_sr = p.vdd * p.idd6 * 1e-3;
+        let core_act = p.vdd * p.idd3n * 1e-3;
+        assert!(core_sr / core_act < 0.35);
+    }
+}

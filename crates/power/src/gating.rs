@@ -1,0 +1,97 @@
+//! Power-gating descriptors: how much of the DRAM's refresh and
+//! peripheral/static power a management policy has turned off.
+
+use serde::{Deserialize, Serialize};
+
+/// Residual power fraction of a deep-powered-down sub-array group, from the
+/// paper's circuit analysis: spare repair rows (< 2 % of rows) stay on and
+/// the power switches leak slightly.
+pub const DEEP_PD_RESIDUAL: f64 = 0.03;
+
+/// Fractions of the DRAM array whose power components are disabled.
+///
+/// * PASR disables only refresh of masked banks (`refresh_off`), leaving
+///   peripheral/IO static power intact.
+/// * GreenDIMM's sub-array deep power-down disables both refresh and the
+///   peripheral/IO static power of off-lined groups (`refresh_off` and
+///   `background_off`), minus the [`DEEP_PD_RESIDUAL`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerGating {
+    /// Fraction of the array whose refresh is stopped, in `[0, 1]`.
+    pub refresh_off: f64,
+    /// Fraction of the array whose background (peripheral/IO static) power
+    /// is gated off, in `[0, 1]`.
+    pub background_off: f64,
+}
+
+impl PowerGating {
+    /// No gating (conventional operation).
+    pub fn none() -> Self {
+        PowerGating::default()
+    }
+
+    /// GreenDIMM gating with `fraction` of sub-array groups in deep
+    /// power-down: refresh stops entirely for them, and background power is
+    /// gated down to the residual.
+    pub fn deep_pd(fraction: f64) -> Self {
+        let f = fraction.clamp(0.0, 1.0);
+        PowerGating {
+            refresh_off: f,
+            background_off: f * (1.0 - DEEP_PD_RESIDUAL),
+        }
+    }
+
+    /// PASR-style gating: `fraction` of banks are excluded from refresh but
+    /// keep consuming static power.
+    pub fn pasr(fraction: f64) -> Self {
+        PowerGating {
+            refresh_off: fraction.clamp(0.0, 1.0),
+            background_off: 0.0,
+        }
+    }
+
+    /// Multiplier applied to refresh energy.
+    pub fn refresh_multiplier(&self) -> f64 {
+        (1.0 - self.refresh_off).clamp(0.0, 1.0)
+    }
+
+    /// Multiplier applied to standby/background power.
+    pub fn background_multiplier(&self) -> f64 {
+        (1.0 - self.background_off).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let g = PowerGating::none();
+        assert_eq!(g.refresh_multiplier(), 1.0);
+        assert_eq!(g.background_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn deep_pd_gates_both() {
+        let g = PowerGating::deep_pd(0.5);
+        assert!((g.refresh_multiplier() - 0.5).abs() < 1e-12);
+        assert!(g.background_multiplier() < 0.53);
+        assert!(g.background_multiplier() > 0.5);
+    }
+
+    #[test]
+    fn pasr_gates_refresh_only() {
+        let g = PowerGating::pasr(0.75);
+        assert!((g.refresh_multiplier() - 0.25).abs() < 1e-12);
+        assert_eq!(g.background_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn fractions_are_clamped() {
+        let g = PowerGating::deep_pd(2.0);
+        assert_eq!(g.refresh_multiplier(), 0.0);
+        let g = PowerGating::pasr(-1.0);
+        assert_eq!(g.refresh_multiplier(), 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! DRAM and system power models for the GreenDIMM reproduction.
+//!
+//! The paper measures power with RAPL and a wall power meter, and estimates
+//! the sub-array deep power-down effect with CACTI. This crate substitutes:
+//!
+//! * an IDD-current DRAM power model ([`DramPowerModel`]) following the
+//!   standard Micron power-calculation methodology, integrating energy from
+//!   either cycle-level simulation statistics or analytic activity profiles,
+//! * a gating descriptor ([`PowerGating`]) capturing what PASR (refresh
+//!   only) vs. GreenDIMM's deep power-down (refresh + peripheral static
+//!   power) turn off,
+//! * a calibrated whole-server model ([`SystemPowerModel`]), and
+//! * the paper's circuit-analysis constants ([`subarray`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gd_power::{ActivityProfile, DramPowerModel, PowerGating};
+//! use gd_types::config::DramConfig;
+//!
+//! let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+//! let idle = model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+//! // Off-lining half the sub-array groups nearly halves background power.
+//! let gated = model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::deep_pd(0.5));
+//! assert!(gated < idle * 0.75);
+//! ```
+
+pub mod device;
+pub mod gating;
+pub mod model;
+pub mod subarray;
+pub mod system;
+
+pub use device::IddParams;
+pub use gating::{PowerGating, DEEP_PD_RESIDUAL};
+pub use model::{ActivityProfile, DramEnergyBreakdown, DramPowerModel};
+pub use system::SystemPowerModel;

@@ -1,0 +1,429 @@
+//! The DRAM power/energy model.
+//!
+//! Two entry points:
+//!
+//! * [`DramPowerModel::energy_from_stats`] integrates energy over a
+//!   cycle-level [`RunStats`] from `gd-dram` (used for Figs. 3, 9, 10).
+//! * [`DramPowerModel::analytic_power_w`] computes average power from an
+//!   [`ActivityProfile`] of state-residency fractions and bus utilization
+//!   (used by the epoch-level co-simulation behind Figs. 1–2, 12–13 and
+//!   Tables 1–3, where cycle simulation of 24 hours would be intractable).
+
+use crate::device::IddParams;
+use crate::gating::PowerGating;
+use gd_dram::{RankPowerState, RunStats};
+use gd_types::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown of one run, in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramEnergyBreakdown {
+    /// Standby (background) energy across all states.
+    pub background_j: f64,
+    /// Auto/self refresh energy.
+    pub refresh_j: f64,
+    /// Row activate/precharge energy.
+    pub activate_j: f64,
+    /// Read burst core energy.
+    pub read_j: f64,
+    /// Write burst core energy.
+    pub write_j: f64,
+    /// I/O and termination energy.
+    pub io_j: f64,
+}
+
+impl DramEnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.background_j + self.refresh_j + self.activate_j + self.read_j + self.write_j
+            + self.io_j
+    }
+
+    /// Background (standby + refresh) fraction of the total — the quantity
+    /// the paper reports growing from 44 % (64 GB) to 78 % (1 TB).
+    pub fn background_fraction(&self) -> f64 {
+        let t = self.total_j();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.background_j + self.refresh_j) / t
+        }
+    }
+
+    /// Average power over a duration in seconds.
+    pub fn average_power_w(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_j() / seconds
+        }
+    }
+}
+
+/// Average state-residency fractions and bus utilization for the analytic
+/// power path. Fractions must sum to ≤ 1 across the four states.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityProfile {
+    /// Fraction of peak data-bus utilization in `[0, 1]`.
+    pub bandwidth_util: f64,
+    /// Fraction of reads among data transfers in `[0, 1]`.
+    pub read_fraction: f64,
+    /// ACT commands per column command (1 − row-hit rate).
+    pub act_per_access: f64,
+    /// Fraction of time ranks sit with a row open.
+    pub active_standby: f64,
+    /// Fraction of time ranks sit precharged with CKE high.
+    pub precharge_standby: f64,
+    /// Fraction of time ranks spend in power-down.
+    pub power_down: f64,
+    /// Fraction of time ranks spend in self-refresh.
+    pub self_refresh: f64,
+}
+
+impl ActivityProfile {
+    /// A fully idle system parked in precharge standby (Table 1 / Fig. 2
+    /// "idle" operating point: no low-power state is reachable under
+    /// interleaved traffic, so idle ranks still burn standby power).
+    pub fn idle_standby() -> Self {
+        ActivityProfile {
+            bandwidth_util: 0.0,
+            read_fraction: 0.67,
+            act_per_access: 0.5,
+            active_standby: 0.0,
+            precharge_standby: 1.0,
+            power_down: 0.0,
+            self_refresh: 0.0,
+        }
+    }
+
+    /// A memory-intensive operating point (16 copies of `mcf`-like load):
+    /// high bus utilization, rows mostly open.
+    pub fn busy(bandwidth_util: f64) -> Self {
+        ActivityProfile {
+            bandwidth_util: bandwidth_util.clamp(0.0, 1.0),
+            read_fraction: 0.67,
+            act_per_access: 0.5,
+            active_standby: 0.8,
+            precharge_standby: 0.2,
+            power_down: 0.0,
+            self_refresh: 0.0,
+        }
+    }
+}
+
+/// IDD-based DRAM power model for a whole memory system.
+#[derive(Debug, Clone)]
+pub struct DramPowerModel {
+    cfg: DramConfig,
+    idd: IddParams,
+}
+
+impl DramPowerModel {
+    /// Builds a model, choosing device parameters by the configured width.
+    pub fn new(cfg: DramConfig) -> Self {
+        let idd = if cfg.org.device_width == 4 {
+            IddParams::ddr4_2133_8gb_x4()
+        } else {
+            IddParams::ddr4_2133_4gb_x8()
+        };
+        DramPowerModel { cfg, idd }
+    }
+
+    /// Builds a model with explicit device parameters.
+    pub fn with_idd(cfg: DramConfig, idd: IddParams) -> Self {
+        DramPowerModel { cfg, idd }
+    }
+
+    /// The device parameters in use.
+    pub fn idd(&self) -> &IddParams {
+        &self.idd
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn devices_total(&self) -> f64 {
+        (self.cfg.org.total_ranks() * self.cfg.org.devices_per_rank) as f64
+    }
+
+    fn t_ck_s(&self) -> f64 {
+        self.cfg.timing.t_ck_ns() * 1e-9
+    }
+
+    /// Core (array-dependent, gateable) background power of one device in a
+    /// given state, W.
+    fn device_core_background_w(&self, state: RankPowerState) -> f64 {
+        let i = &self.idd;
+        let ma = match state {
+            RankPowerState::ActiveStandby => i.idd3n,
+            RankPowerState::PrechargeStandby => i.idd2n,
+            RankPowerState::PowerDown => i.idd2p,
+            RankPowerState::SelfRefresh => i.idd6,
+        };
+        i.vdd * ma * 1e-3
+    }
+
+    /// Ungated static power of one device (DIMM support circuitry), W.
+    fn device_static_w(&self) -> f64 {
+        self.idd.dimm_static_mw * 1e-3
+    }
+
+    /// Background power of the whole system with every rank in `state`, W.
+    pub fn background_power_w(&self, state: RankPowerState, gating: &PowerGating) -> f64 {
+        self.devices_total()
+            * (self.device_core_background_w(state) * gating.background_multiplier()
+                + self.device_static_w())
+    }
+
+    /// Energy of one ACT/PRE pair across a rank, J (Micron methodology:
+    /// IDD0 minus the standby currents over tRC).
+    pub fn act_pre_energy_j(&self) -> f64 {
+        let i = &self.idd;
+        let t = &self.cfg.timing;
+        let t_rc_s = t.t_rc as f64 * self.t_ck_s();
+        let t_ras_s = t.t_ras as f64 * self.t_ck_s();
+        let background = i.idd3n * t_ras_s + i.idd2n * (t_rc_s - t_ras_s);
+        let e_dev = i.vdd * (i.idd0 * t_rc_s - background) * 1e-3;
+        e_dev.max(0.0) * self.cfg.org.devices_per_rank as f64
+    }
+
+    /// Core energy of one read burst across a rank, J.
+    pub fn read_energy_j(&self) -> f64 {
+        let i = &self.idd;
+        let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
+        i.vdd * (i.idd4r - i.idd3n).max(0.0) * 1e-3 * burst_s
+            * self.cfg.org.devices_per_rank as f64
+    }
+
+    /// Core energy of one write burst across a rank, J.
+    pub fn write_energy_j(&self) -> f64 {
+        let i = &self.idd;
+        let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
+        i.vdd * (i.idd4w - i.idd3n).max(0.0) * 1e-3 * burst_s
+            * self.cfg.org.devices_per_rank as f64
+    }
+
+    /// I/O + termination energy of one 64-byte transfer, J.
+    pub fn io_energy_j(&self) -> f64 {
+        let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
+        // 64 data pins per rank regardless of device width.
+        self.idd.io_mw_per_dq * 1e-3 * 64.0 * burst_s
+    }
+
+    /// Energy of one REF command on one rank, J.
+    pub fn refresh_energy_j(&self) -> f64 {
+        let i = &self.idd;
+        let t_rfc_s = self.cfg.timing.t_rfc as f64 * self.t_ck_s();
+        i.vdd * (i.idd5b - i.idd2n).max(0.0) * 1e-3 * t_rfc_s
+            * self.cfg.org.devices_per_rank as f64
+    }
+
+    /// Average refresh power of the whole system when awake, W.
+    pub fn refresh_avg_power_w(&self, gating: &PowerGating) -> f64 {
+        let per_rank =
+            self.refresh_energy_j() / (self.cfg.timing.t_refi as f64 * self.t_ck_s());
+        per_rank * self.cfg.org.total_ranks() as f64 * gating.refresh_multiplier()
+    }
+
+    /// Integrates energy over a cycle-level run.
+    ///
+    /// Deep power-down gating is taken from the run's own
+    /// `group_deep_pd_cycles` tracking; `extra_gating` layers policy-level
+    /// gating on top (e.g. a PASR baseline's refresh masks).
+    pub fn energy_from_stats(
+        &self,
+        stats: &RunStats,
+        extra_gating: &PowerGating,
+    ) -> DramEnergyBreakdown {
+        let t_ck = self.t_ck_s();
+        let dev_per_rank = self.cfg.org.devices_per_rank as f64;
+        let deep_pd = PowerGating::deep_pd(stats.mean_deep_pd_fraction());
+        let bg_mult = deep_pd.background_multiplier() * extra_gating.background_multiplier();
+        let ref_mult = deep_pd.refresh_multiplier() * extra_gating.refresh_multiplier();
+
+        let mut background_j = 0.0;
+        for res in &stats.rank_residency {
+            let pairs = [
+                (RankPowerState::ActiveStandby, res.active_standby),
+                (RankPowerState::PrechargeStandby, res.precharge_standby),
+                (RankPowerState::PowerDown, res.power_down),
+                (RankPowerState::SelfRefresh, res.self_refresh),
+            ];
+            for (state, cycles) in pairs {
+                let secs = cycles as f64 * t_ck;
+                background_j += dev_per_rank
+                    * (self.device_core_background_w(state) * bg_mult
+                        + self.device_static_w())
+                    * secs;
+            }
+        }
+        // Self-refresh residency already embeds refresh current via IDD6;
+        // REF commands cover awake refresh.
+        let refresh_j = stats.refreshes as f64 * self.refresh_energy_j() * ref_mult;
+        let activate_j = stats.activates as f64 * self.act_pre_energy_j();
+        let read_j = stats.reads as f64 * self.read_energy_j();
+        let write_j = stats.writes as f64 * self.write_energy_j();
+        let io_j = (stats.reads + stats.writes) as f64 * self.io_energy_j();
+        DramEnergyBreakdown {
+            background_j,
+            refresh_j,
+            activate_j,
+            read_j,
+            write_j,
+            io_j,
+        }
+    }
+
+    /// Peak data-bus throughput of the system in 64-byte transfers per
+    /// second (all channels combined).
+    pub fn peak_transfers_per_s(&self) -> f64 {
+        let per_channel = 1.0 / (self.cfg.timing.burst_cycles() as f64 * self.t_ck_s());
+        per_channel * self.cfg.org.channels as f64
+    }
+
+    /// Average power for an [`ActivityProfile`], W.
+    pub fn analytic_power_w(&self, profile: &ActivityProfile, gating: &PowerGating) -> f64 {
+        let p = profile;
+        let mut w = 0.0;
+        // Background by state residency.
+        let states = [
+            (RankPowerState::ActiveStandby, p.active_standby),
+            (RankPowerState::PrechargeStandby, p.precharge_standby),
+            (RankPowerState::PowerDown, p.power_down),
+            (RankPowerState::SelfRefresh, p.self_refresh),
+        ];
+        for (state, frac) in states {
+            w += self.background_power_w(state, gating) * frac.clamp(0.0, 1.0);
+        }
+        // Refresh (not needed while in self-refresh: IDD6 covers it).
+        w += self.refresh_avg_power_w(gating) * (1.0 - p.self_refresh).clamp(0.0, 1.0);
+        // Activity power from bus utilization.
+        let xfers = self.peak_transfers_per_s() * p.bandwidth_util.clamp(0.0, 1.0);
+        let rf = p.read_fraction.clamp(0.0, 1.0);
+        let per_xfer = rf * self.read_energy_j()
+            + (1.0 - rf) * self.write_energy_j()
+            + self.io_energy_j()
+            + p.act_per_access * self.act_pre_energy_j();
+        w + xfers * per_xfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_dram::{LowPowerPolicy, MemRequest, MemorySystem};
+
+    #[test]
+    fn idle_power_256gb_matches_paper_measurement() {
+        // Paper §3.2: 256 GB DRAM consumes ~18 W idle.
+        let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+        let idle =
+            model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+        assert!(
+            (14.0..24.0).contains(&idle),
+            "idle power {idle:.1} W should be near the paper's 18 W"
+        );
+    }
+
+    #[test]
+    fn busy_power_exceeds_idle_by_several_watts() {
+        // Paper §3.2: 18 W idle vs 26 W busy at 256 GB.
+        let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+        let idle =
+            model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+        let busy = model.analytic_power_w(&ActivityProfile::busy(0.45), &PowerGating::none());
+        assert!(busy > idle + 4.0, "busy {busy:.1} vs idle {idle:.1}");
+        assert!(busy < idle * 2.5);
+    }
+
+    #[test]
+    fn idle_power_is_flat_in_utilization() {
+        // Table 1: without power management, DRAM power is constant no
+        // matter how much of the capacity is used.
+        let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+        let p = ActivityProfile::idle_standby();
+        let base = model.analytic_power_w(&p, &PowerGating::none());
+        for _util in [0.1, 0.25, 0.5, 0.75, 1.0] {
+            // Utilization of capacity does not enter the model at all.
+            let again = model.analytic_power_w(&p, &PowerGating::none());
+            assert_eq!(base, again);
+        }
+    }
+
+    #[test]
+    fn deep_pd_halves_background_when_half_offline() {
+        let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+        let p = ActivityProfile::idle_standby();
+        let full = model.analytic_power_w(&p, &PowerGating::none());
+        let half = model.analytic_power_w(&p, &PowerGating::deep_pd(0.5));
+        assert!(half < full * 0.75);
+        assert!(half > full * 0.4);
+    }
+
+    #[test]
+    fn pasr_saves_less_than_deep_pd() {
+        let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+        let p = ActivityProfile::idle_standby();
+        let pasr = model.analytic_power_w(&p, &PowerGating::pasr(0.5));
+        let deep = model.analytic_power_w(&p, &PowerGating::deep_pd(0.5));
+        assert!(
+            deep < pasr,
+            "deep power-down gates static power too: {deep:.2} < {pasr:.2}"
+        );
+    }
+
+    #[test]
+    fn capacity_scaling_is_monotone() {
+        let p64 = DramPowerModel::new(DramConfig::ddr4_2133_64gb())
+            .analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+        let p256 = DramPowerModel::new(DramConfig::ddr4_2133_256gb())
+            .analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+        assert!(p256 > p64 * 1.3, "{p64:.1} -> {p256:.1}");
+    }
+
+    #[test]
+    fn energy_from_cycle_stats_integrates() {
+        let cfg = DramConfig::small_test();
+        let mut sys = MemorySystem::new(cfg, LowPowerPolicy::disabled()).unwrap();
+        let reqs: Vec<_> = (0..512).map(|i| MemRequest::read(i * 64, i * 8)).collect();
+        let stats = sys.run_trace(reqs).unwrap();
+        let model = DramPowerModel::new(cfg);
+        let e = model.energy_from_stats(&stats, &PowerGating::none());
+        assert!(e.total_j() > 0.0);
+        assert!(e.background_j > 0.0);
+        assert!(e.read_j > 0.0);
+        assert!(e.write_j == 0.0);
+        assert!(e.background_fraction() > 0.0 && e.background_fraction() < 1.0);
+    }
+
+    #[test]
+    fn deep_pd_residency_reduces_energy() {
+        use gd_types::ids::SubArrayGroup;
+        let cfg = DramConfig::small_test();
+        let model = DramPowerModel::new(cfg);
+        let run_idle = |pd_groups: u32| {
+            let mut sys = MemorySystem::new(cfg, LowPowerPolicy::disabled()).unwrap();
+            for g in 0..pd_groups {
+                sys.set_group_deep_pd(SubArrayGroup::new(g), true).unwrap();
+            }
+            let stats = sys.run_idle(1_000_000);
+            model
+                .energy_from_stats(&stats, &PowerGating::none())
+                .total_j()
+        };
+        let none = run_idle(0);
+        let half = run_idle(4); // 4 of 8 groups
+        assert!(half < none * 0.8, "half {half:.3e} vs none {none:.3e}");
+    }
+
+    #[test]
+    fn event_energies_positive_and_ordered() {
+        let model = DramPowerModel::new(DramConfig::ddr4_2133_64gb());
+        assert!(model.act_pre_energy_j() > 0.0);
+        assert!(model.read_energy_j() > 0.0);
+        assert!(model.write_energy_j() > 0.0);
+        assert!(model.refresh_energy_j() > model.act_pre_energy_j());
+    }
+}

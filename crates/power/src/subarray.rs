@@ -1,0 +1,45 @@
+//! Constants from the paper's circuit-level analysis of the sub-array deep
+//! power-down state (§4.3), standing in for the CACTI / commercial-design
+//! numbers we cannot reproduce.
+
+/// Area overhead of the per-sub-array power-switch transistors, as a
+/// fraction of total DRAM chip area (paper: 1500 µm² per sub-array on a
+/// commercial 1z-nm 8Gb design, 0.64 % of the chip).
+pub const SWITCH_AREA_FRACTION: f64 = 0.0064;
+
+/// Area overhead including per-sub-array control logic (paper: < 1 %).
+pub const TOTAL_AREA_FRACTION: f64 = 0.01;
+
+/// DRAM cost increase, same as PASR/PAAR control circuitry (paper: ~0.1 %
+/// of die area).
+pub const CONTROL_AREA_FRACTION: f64 = 0.001;
+
+/// Fraction of rows occupied by spare repair arrays that stay powered even
+/// when their sub-array group is off-lined (paper: < 2 %).
+pub const SPARE_ROW_FRACTION: f64 = 0.02;
+
+/// Number of bits in the memory controller's deep power-down register: one
+/// per sub-array group, independent of channel/rank count (paper: 64 bits
+/// vs. 128 bits for PASR bank masks on the same platform).
+pub const REGISTER_BITS: u32 = 64;
+
+/// Bits a PASR-style per-bank mask would need for the paper's platform
+/// (16 banks × 2 ranks × 4 channels).
+pub const PASR_REGISTER_BITS_REFERENCE: u32 = 128;
+
+/// Turn-on resistance budget for the power switch (Ω).
+pub const SWITCH_ON_RESISTANCE_OHM: f64 = 0.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper_claims() {
+        assert!(SWITCH_AREA_FRACTION < TOTAL_AREA_FRACTION);
+        assert!(TOTAL_AREA_FRACTION <= 0.01);
+        assert!(REGISTER_BITS < PASR_REGISTER_BITS_REFERENCE);
+        assert!(SPARE_ROW_FRACTION <= 0.02);
+        assert!(SWITCH_ON_RESISTANCE_OHM <= 0.1);
+    }
+}

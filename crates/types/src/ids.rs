@@ -1,0 +1,178 @@
+//! Strongly-typed identifiers for the DRAM hierarchy.
+//!
+//! Using newtypes instead of bare `usize` prevents the classic
+//! rank-where-a-bank-was-expected bug when plumbing decoded addresses through
+//! the controller, device model, and power model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates a new identifier from a raw index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A memory channel (independent command/address/data bus).
+    Channel
+);
+id_newtype!(
+    /// A rank within a channel: the set of DRAM devices that respond to a
+    /// chip select in lock-step.
+    Rank
+);
+id_newtype!(
+    /// A DDR4 bank group within a device.
+    BankGroup
+);
+id_newtype!(
+    /// A bank within a bank group (the unit that owns a row buffer).
+    Bank
+);
+id_newtype!(
+    /// A sub-array within a bank: the unit selected by the global row
+    /// decoder, comprising multiple MATs. GreenDIMM's power-down unit.
+    SubArray
+);
+id_newtype!(
+    /// A row within a sub-array (selected by the local row decoder).
+    Row
+);
+id_newtype!(
+    /// A sub-array *group*: all sub-arrays with the same sub-array index
+    /// across every channel, rank, and bank. The paper's minimum unit of
+    /// DRAM power management (always 1/64 of total capacity with 64
+    /// sub-arrays per bank).
+    SubArrayGroup
+);
+
+/// A fully decoded DRAM coordinate for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: Channel,
+    /// Rank index within the channel.
+    pub rank: Rank,
+    /// Bank group index within the rank.
+    pub bank_group: BankGroup,
+    /// Bank index within the bank group.
+    pub bank: Bank,
+    /// Sub-array index within the bank (top bits of the row address).
+    pub subarray: SubArray,
+    /// Row index within the sub-array (bottom bits of the row address).
+    pub row: Row,
+    /// Column index within the row.
+    pub column: u32,
+}
+
+impl DramCoord {
+    /// The flat bank index within a rank, combining bank group and bank.
+    pub fn flat_bank(&self, banks_per_group: u32) -> usize {
+        (self.bank_group.0 * banks_per_group + self.bank.0) as usize
+    }
+
+    /// The full row address as seen by the device: sub-array bits above the
+    /// local-row bits.
+    pub fn full_row(&self, rows_per_subarray: u32) -> u32 {
+        self.subarray.0 * rows_per_subarray + self.row.0
+    }
+
+    /// The sub-array group this coordinate belongs to (same as the
+    /// sub-array index, by construction of the grouping).
+    pub fn subarray_group(&self) -> SubArrayGroup {
+        SubArrayGroup(self.subarray.0)
+    }
+}
+
+impl fmt::Display for DramCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/r{}/bg{}/b{}/sa{}/row{}/col{}",
+            self.channel.0,
+            self.rank.0,
+            self.bank_group.0,
+            self.bank.0,
+            self.subarray.0,
+            self.row.0,
+            self.column
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtype_roundtrip() {
+        let c = Channel::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(u32::from(c), 3);
+        assert_eq!(Channel::from(3u32), c);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Channel::new(1).to_string(), "Channel1");
+        assert_eq!(SubArrayGroup::new(63).to_string(), "SubArrayGroup63");
+    }
+
+    #[test]
+    fn flat_bank_combines_group_and_bank() {
+        let coord = DramCoord {
+            channel: Channel::new(0),
+            rank: Rank::new(0),
+            bank_group: BankGroup::new(2),
+            bank: Bank::new(3),
+            subarray: SubArray::new(5),
+            row: Row::new(100),
+            column: 7,
+        };
+        assert_eq!(coord.flat_bank(4), 11);
+        assert_eq!(coord.full_row(512), 5 * 512 + 100);
+        assert_eq!(coord.subarray_group(), SubArrayGroup::new(5));
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(Rank::new(0) < Rank::new(1));
+        assert!(SubArray::new(10) > SubArray::new(2));
+    }
+}

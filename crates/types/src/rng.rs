@@ -1,0 +1,78 @@
+//! Deterministic RNG helpers.
+//!
+//! Every stochastic component in the workspace takes an explicit seed so that
+//! experiment tables are reproducible bit-for-bit. This module centralizes
+//! seed derivation so that sub-component streams are independent even when
+//! built from one experiment-level seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a component label.
+///
+/// Component labels keep streams independent: the workload generator and the
+/// VM scheduler seeded from the same experiment seed must not observe
+/// correlated randomness. Uses an FNV-1a fold of the label into the seed.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ parent.rotate_left(17);
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 finalizer) so nearby parents diverge.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Creates a deterministic child RNG for a named component.
+pub fn component_rng(parent_seed: u64, label: &str) -> StdRng {
+    rng_from_seed(derive_seed(parent_seed, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn labels_produce_distinct_streams() {
+        let s1 = derive_seed(42, "workload");
+        let s2 = derive_seed(42, "scheduler");
+        assert_ne!(s1, s2);
+        let mut a = rng_from_seed(s1);
+        let mut b = rng_from_seed(s2);
+        // Statistically these must differ immediately.
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(derive_seed(1, "x"), derive_seed(1, "x"));
+        assert_ne!(derive_seed(1, "x"), derive_seed(2, "x"));
+    }
+
+    #[test]
+    fn component_rng_reproducible() {
+        let mut a = component_rng(9, "azure");
+        let mut b = component_rng(9, "azure");
+        assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+    }
+}

@@ -1,0 +1,94 @@
+//! A simple MLP-aware CPU runtime model.
+//!
+//! Converts the memory latency observed by the DRAM simulator into benchmark
+//! execution time:
+//!
+//! `CPI = CPI_base + (MPKI / 1000) × (memory latency in CPU cycles) / MLP`
+//!
+//! This is the standard first-order model for out-of-order cores: misses
+//! overlap up to the measured memory-level parallelism. It is what converts
+//! "interleaving reduced average latency 4×" into "lbm ran 3.8× faster"
+//! (Fig. 3a) and execution time into energy (Figs. 9–10).
+
+use crate::profile::AppProfile;
+use crate::trace::{CPU_FREQ_MHZ, MEM_FREQ_MHZ};
+use serde::{Deserialize, Serialize};
+
+/// Runtime prediction for one benchmark under one memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeEstimate {
+    /// Effective cycles per instruction.
+    pub cpi: f64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Fraction of peak DRAM bus bandwidth the run sustains.
+    pub bandwidth_util: f64,
+}
+
+/// Estimates runtime from the average memory read latency (in memory-clock
+/// cycles) measured by the DRAM simulator, plus the peak transfer rate for
+/// the utilization estimate.
+pub fn estimate_runtime(
+    profile: &AppProfile,
+    avg_mem_latency_memcycles: f64,
+    peak_transfers_per_s: f64,
+) -> RuntimeEstimate {
+    let lat_cpu_cycles = avg_mem_latency_memcycles * (CPU_FREQ_MHZ / MEM_FREQ_MHZ);
+    let cpi = profile.cpi_base + profile.mpki / 1000.0 * lat_cpu_cycles / profile.mlp.max(1.0);
+    let instructions = profile.giga_instructions * 1e9;
+    let seconds = instructions * cpi / (CPU_FREQ_MHZ * 1e6);
+    // Transfers generated per second at this CPI.
+    let transfers_per_s = instructions / seconds * profile.mpki / 1000.0;
+    RuntimeEstimate {
+        cpi,
+        seconds,
+        bandwidth_util: (transfers_per_s / peak_transfers_per_s).clamp(0.0, 1.0),
+    }
+}
+
+/// Relative slowdown of `slow` vs. `fast` runtime estimates.
+pub fn slowdown(slow: &RuntimeEstimate, fast: &RuntimeEstimate) -> f64 {
+    slow.seconds / fast.seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::by_name;
+
+    #[test]
+    fn memory_intensive_apps_speed_up_with_lower_latency() {
+        let lbm = by_name("lbm").unwrap();
+        let peak = 1e9;
+        let slow = estimate_runtime(&lbm, 800.0, peak); // congested, no interleave
+        let fast = estimate_runtime(&lbm, 60.0, peak); // interleaved
+        let s = slowdown(&slow, &fast);
+        assert!(s > 2.0, "lbm-class slowdown {s:.2} should be large");
+    }
+
+    #[test]
+    fn cpu_bound_apps_are_latency_insensitive() {
+        let povray = by_name("povray").unwrap();
+        let peak = 1e9;
+        let slow = estimate_runtime(&povray, 800.0, peak);
+        let fast = estimate_runtime(&povray, 60.0, peak);
+        let s = slowdown(&slow, &fast);
+        assert!(s < 1.3, "povray slowdown {s:.2} should be near 1");
+    }
+
+    #[test]
+    fn bandwidth_util_bounded() {
+        let mcf = by_name("mcf").unwrap();
+        let est = estimate_runtime(&mcf, 100.0, 1e8);
+        assert!(est.bandwidth_util > 0.0 && est.bandwidth_util <= 1.0);
+    }
+
+    #[test]
+    fn runtime_scales_with_instruction_count() {
+        let mut a = by_name("mcf").unwrap();
+        let base = estimate_runtime(&a, 100.0, 1e9).seconds;
+        a.giga_instructions *= 2.0;
+        let double = estimate_runtime(&a, 100.0, 1e9).seconds;
+        assert!((double / base - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload synthesis for the GreenDIMM reproduction.
+//!
+//! The paper evaluates with SPEC CPU2006/2017, HiBench, CloudSuite, and the
+//! Microsoft Azure VM trace — none of which can be run or redistributed
+//! here. This crate substitutes statistical models that pin the published
+//! characteristics the evaluation actually depends on:
+//!
+//! * [`profile`] — per-benchmark memory profiles (footprint, MPKI, locality,
+//!   footprint dynamics);
+//! * [`trace`] — request-trace generation for the cycle-level DRAM
+//!   simulator;
+//! * [`cpu`] — the MLP-aware runtime model converting memory latency into
+//!   execution time;
+//! * [`azure`] — the VM-trace synthesizer (arrivals, lifetimes,
+//!   consolidation constraints, KSM content model).
+//!
+//! # Example
+//!
+//! ```
+//! use gd_workloads::{by_name, TraceGenerator};
+//!
+//! let mcf = by_name("mcf").expect("built-in profile");
+//! let mut gen = TraceGenerator::new(mcf, 42);
+//! let trace = gen.take(1000);
+//! assert_eq!(trace.len(), 1000);
+//! ```
+
+pub mod azure;
+pub mod cpu;
+pub mod profile;
+pub mod trace;
+
+pub use azure::{AzureConfig, AzureTrace, VmEvent, VmEventKind, VmSpec};
+pub use cpu::{estimate_runtime, slowdown, RuntimeEstimate};
+pub use profile::{
+    by_name, energy_figure_set, spec2006_offlining_set, AppProfile, FootprintDynamics, Suite,
+};
+pub use trace::{TraceGenerator, CPU_FREQ_MHZ, MEM_FREQ_MHZ};

@@ -1,0 +1,138 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use greendimm_suite::core::GroupMap;
+use greendimm_suite::dram::AddressMapper;
+use greendimm_suite::mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind, MAX_ORDER};
+use greendimm_suite::types::config::{DramConfig, InterleaveMode};
+use greendimm_suite::types::ids::SubArrayGroup;
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = InterleaveMode> {
+    prop_oneof![
+        Just(InterleaveMode::Interleaved),
+        Just(InterleaveMode::InterleavedXor),
+        Just(InterleaveMode::Linear),
+    ]
+}
+
+proptest! {
+    /// Address decode/encode is a bijection for every interleave mode.
+    #[test]
+    fn addrmap_roundtrip(mode in arb_mode(), raw in any::<u64>()) {
+        let cfg = DramConfig::small_test().with_interleave(mode);
+        let mapper = AddressMapper::new(&cfg).unwrap();
+        let addr = (raw % mapper.capacity_bytes()) & !63;
+        let coord = mapper.decode(addr).unwrap();
+        prop_assert_eq!(mapper.encode(&coord).unwrap(), addr);
+    }
+
+    /// Under interleaving, the sub-array group of an address is exactly its
+    /// position in the top-level split of the address space.
+    #[test]
+    fn subarray_group_is_address_prefix(raw in any::<u64>()) {
+        let cfg = DramConfig::small_test();
+        let mapper = AddressMapper::new(&cfg).unwrap();
+        let addr = raw % mapper.capacity_bytes();
+        let group_bytes = mapper.capacity_bytes() / mapper.subarray_groups() as u64;
+        prop_assert_eq!(
+            mapper.subarray_group_of(addr).unwrap().0 as u64,
+            addr / group_bytes
+        );
+    }
+
+    /// The buddy allocator conserves pages and never double-allocates
+    /// across arbitrary alloc/free sequences.
+    #[test]
+    fn buddy_invariants(ops in proptest::collection::vec(0u8..=MAX_ORDER, 1..60)) {
+        let total = 1u32 << 14;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<(u32, u8)> = Vec::new();
+        for (i, order) in ops.iter().enumerate() {
+            if i % 3 == 2 && !live.is_empty() {
+                let (off, o) = live.swap_remove(i % live.len());
+                buddy.free(off, o);
+            } else if let Some(off) = buddy.alloc(*order) {
+                // No overlap with any live chunk.
+                let len = 1u32 << order;
+                for (o2, ord2) in &live {
+                    let len2 = 1u32 << ord2;
+                    prop_assert!(off + len <= *o2 || o2 + len2 <= off,
+                        "overlap: ({off},{len}) vs ({o2},{len2})");
+                }
+                live.push((off, *order));
+            }
+            let live_pages: u32 = live.iter().map(|(_, o)| 1u32 << o).sum();
+            prop_assert_eq!(buddy.free_pages() + live_pages, total);
+        }
+        for (off, o) in live.drain(..) {
+            buddy.free(off, o);
+        }
+        prop_assert!(buddy.is_empty());
+    }
+
+    /// The memory manager's meminfo always balances: used + free == online,
+    /// online + offline == installed, across arbitrary alloc/free/hotplug
+    /// sequences.
+    #[test]
+    fn meminfo_always_balances(ops in proptest::collection::vec((0u8..4, 1u64..3000), 1..40)) {
+        let mut mm = MemoryManager::new(MmConfig::small_test()).unwrap();
+        let mut allocs = Vec::new();
+        for (kind, arg) in ops {
+            match kind {
+                0 => {
+                    if let Ok(id) = mm.allocate(arg, PageKind::UserMovable) {
+                        allocs.push(id);
+                    }
+                }
+                1 => {
+                    if !allocs.is_empty() {
+                        let id = allocs.swap_remove(arg as usize % allocs.len());
+                        mm.free(id).unwrap();
+                    }
+                }
+                2 => {
+                    let b = arg as usize % mm.block_count();
+                    let _ = mm.offline_block(b);
+                }
+                _ => {
+                    let b = arg as usize % mm.block_count();
+                    let _ = mm.online_block(b);
+                }
+            }
+            let info = mm.meminfo();
+            prop_assert_eq!(info.used_pages + info.free_pages, info.total_pages);
+            prop_assert_eq!(info.total_pages + info.offline_pages, info.installed_pages);
+        }
+    }
+
+    /// Every block belongs to at least one group and the group->blocks /
+    /// block->groups relations are mutually consistent.
+    #[test]
+    fn groupmap_relations_consistent(block_mib in prop_oneof![Just(64u64), Just(128), Just(256), Just(512)]) {
+        let managed = 8u64 << 30;
+        let map = GroupMap::new(managed, 64, block_mib << 20).unwrap();
+        for b in 0..map.blocks() {
+            for g in map.groups_of_block(b).unwrap() {
+                prop_assert!(map.blocks_of_group(g).unwrap().contains(&b));
+            }
+        }
+        for g in 0..map.groups() {
+            let group = SubArrayGroup::new(g);
+            for b in map.blocks_of_group(group).unwrap() {
+                prop_assert!(map.groups_of_block(b).unwrap().contains(&group));
+            }
+        }
+    }
+
+    /// A fully-off-lined flag vector puts every group in deep power-down;
+    /// an all-on-line vector puts none.
+    #[test]
+    fn groupmap_offline_extremes(block_mib in prop_oneof![Just(128u64), Just(256), Just(512)]) {
+        let map = GroupMap::new(8 << 30, 64, block_mib << 20).unwrap();
+        let all_off = vec![true; map.blocks()];
+        prop_assert!(map.fully_offline_groups(&all_off).iter().all(|x| *x));
+        let all_on = vec![false; map.blocks()];
+        prop_assert!(map.fully_offline_groups(&all_on).iter().all(|x| !*x));
+    }
+}

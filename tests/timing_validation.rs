@@ -1,0 +1,73 @@
+//! Scheduler correctness: every command the FR-FCFS controller issues must
+//! satisfy the JEDEC timing constraints, as judged by the *independent*
+//! replay checker in `gd_dram::validate`.
+
+use greendimm_suite::dram::{LowPowerPolicy, MemorySystem, TimingChecker};
+use greendimm_suite::types::config::{DramConfig, InterleaveMode};
+use greendimm_suite::workloads::{by_name, AppProfile, TraceGenerator};
+
+fn validate_run(mode: InterleaveMode, profile: &AppProfile, requests: usize, seed: u64) {
+    let cfg = DramConfig::small_test().with_interleave(mode);
+    let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default()).expect("config");
+    sys.enable_command_log();
+    let mut gen = TraceGenerator::new(profile.clone(), seed);
+    let cap = cfg.total_capacity_bytes();
+    let trace: Vec<_> = gen
+        .take(requests)
+        .into_iter()
+        .map(|mut r| {
+            r.addr %= cap;
+            r
+        })
+        .collect();
+    sys.run_trace(trace).expect("trace");
+    let log = sys.take_command_log();
+    assert!(!log.is_empty(), "log must record commands");
+    let checker = TimingChecker::new(
+        cfg.timing,
+        cfg.org.bank_groups,
+        cfg.org.banks_per_group,
+    );
+    let violations = checker.check(&log);
+    assert!(
+        violations.is_empty(),
+        "{} timing violations under {mode:?} for {} (first: {})",
+        violations.len(),
+        profile.name,
+        violations[0]
+    );
+}
+
+#[test]
+fn scheduler_respects_timing_interleaved() {
+    let p = by_name("mcf").expect("profile");
+    validate_run(InterleaveMode::Interleaved, &p, 5_000, 1);
+}
+
+#[test]
+fn scheduler_respects_timing_linear() {
+    // Linear mapping serializes onto one channel: the densest, most
+    // conflict-prone schedule.
+    let p = by_name("mcf").expect("profile");
+    validate_run(InterleaveMode::Linear, &p, 5_000, 2);
+}
+
+#[test]
+fn scheduler_respects_timing_xor_hashed() {
+    let p = by_name("soplex").expect("profile");
+    validate_run(InterleaveMode::InterleavedXor, &p, 5_000, 3);
+}
+
+#[test]
+fn scheduler_respects_timing_streaming_workload() {
+    // High row locality: long sequential bursts stress tCCD/tFAW paths.
+    let p = by_name("libquantum").expect("profile");
+    validate_run(InterleaveMode::Interleaved, &p, 5_000, 4);
+}
+
+#[test]
+fn scheduler_respects_timing_write_heavy() {
+    let mut p = by_name("lbm").expect("profile");
+    p.read_fraction = 0.3; // stress tWR / tWTR turnarounds
+    validate_run(InterleaveMode::Interleaved, &p, 5_000, 5);
+}
