@@ -9,10 +9,13 @@
 //! by them based on the number of idle ranks/banks").
 
 use gd_power::PowerGating;
-use serde::{Deserialize, Serialize};
+
+pub mod sanity;
+
+pub use sanity::{checked_evaluate, sanity_checker, GovernorSanity};
 
 /// Inputs a governor evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorContext {
     /// Whether channel/rank/bank interleaving is enabled.
     pub interleaved: bool,
@@ -44,7 +47,7 @@ impl GovernorContext {
 }
 
 /// What a governor achieves for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorOutcome {
     /// Array gating (refresh / background power turned off).
     pub gating: PowerGating,

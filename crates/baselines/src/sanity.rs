@@ -1,0 +1,147 @@
+//! Sanity invariants on governor outcomes.
+//!
+//! Every [`PowerGovernor`] produces residency fractions and gating
+//! multipliers that feed straight into the energy integration; a value
+//! outside `[0, 1]` silently corrupts every downstream figure. The
+//! [`GovernorSanity`] invariant checks each `(context, outcome)` pair, and
+//! [`checked_evaluate`] wraps [`PowerGovernor::evaluate`] with a checker so
+//! the figure harness can run baselines under [`gd_verify::Mode::Strict`].
+
+use crate::{GovernorContext, GovernorOutcome, PowerGovernor};
+use gd_types::Result;
+use gd_verify::{Checker, Invariant, Mode, Violation};
+
+/// One governor evaluation: the inputs and what the policy decided.
+pub type Evaluation = (GovernorContext, GovernorOutcome);
+
+/// Physical sanity of a governor outcome: residency fractions and gating
+/// multipliers are probabilities, overhead is non-negative and finite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GovernorSanity;
+
+impl Invariant<Evaluation> for GovernorSanity {
+    fn name(&self) -> &'static str {
+        "governor.sanity"
+    }
+
+    fn check(&self, subject: &Evaluation, out: &mut Vec<Violation>) {
+        let (ctx, o) = subject;
+        let mut bad = |detail: String| {
+            out.push(Violation {
+                invariant: self.name(),
+                detail,
+            });
+        };
+        for (label, v) in [
+            ("sr_fraction", o.sr_fraction),
+            ("pd_fraction", o.pd_fraction),
+            ("refresh_multiplier", o.gating.refresh_multiplier()),
+            ("background_multiplier", o.gating.background_multiplier()),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                bad(format!("{label} = {v} outside [0, 1]"));
+            }
+        }
+        if o.sr_fraction + o.pd_fraction > 1.0 + 1e-9 {
+            bad(format!(
+                "sr + pd residency = {} exceeds 1",
+                o.sr_fraction + o.pd_fraction
+            ));
+        }
+        if !o.overhead_s.is_finite() || o.overhead_s < 0.0 {
+            bad(format!(
+                "overhead_s = {} not a non-negative time",
+                o.overhead_s
+            ));
+        }
+        if ctx.runtime_s > 0.0 && o.overhead_s > 10.0 * ctx.runtime_s {
+            bad(format!(
+                "overhead_s = {} implausible against runtime_s = {}",
+                o.overhead_s, ctx.runtime_s
+            ));
+        }
+    }
+}
+
+/// A checker pre-loaded with [`GovernorSanity`].
+pub fn sanity_checker(mode: Mode) -> Checker<Evaluation> {
+    Checker::new(mode).with(Box::new(GovernorSanity))
+}
+
+/// Evaluates `governor` and runs the outcome through `checker`.
+///
+/// # Errors
+///
+/// In [`Mode::Strict`], an insane outcome as
+/// [`gd_types::GdError::InvalidState`].
+pub fn checked_evaluate<G: PowerGovernor + ?Sized>(
+    governor: &G,
+    ctx: &GovernorContext,
+    checker: &mut Checker<Evaluation>,
+) -> Result<GovernorOutcome> {
+    let outcome = governor.evaluate(ctx);
+    checker.run(&(*ctx, outcome))?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreenDimmGovernor, Pasr, RamZzz, SrfOnly};
+    use gd_power::PowerGating;
+
+    fn ctx(interleaved: bool) -> GovernorContext {
+        GovernorContext {
+            interleaved,
+            footprint_bytes: 1200 << 20,
+            capacity_bytes: 64 << 30,
+            ranks: 16,
+            banks_per_rank: 16,
+            measured_sr_fraction: if interleaved { 0.0 } else { 0.54 },
+            runtime_s: 100.0,
+            offline_fraction: 0.8,
+        }
+    }
+
+    #[test]
+    fn all_stock_governors_pass_strict() {
+        let mut checker = sanity_checker(Mode::Strict);
+        let governors: [&dyn PowerGovernor; 4] = [
+            &SrfOnly,
+            &RamZzz::default(),
+            &Pasr,
+            &GreenDimmGovernor::default(),
+        ];
+        for g in governors {
+            for interleaved in [true, false] {
+                checked_evaluate(g, &ctx(interleaved), &mut checker).unwrap();
+            }
+        }
+        assert_eq!(checker.stats.checks_run, 8);
+        assert_eq!(checker.stats.violations, 0);
+    }
+
+    /// A governor that claims more than 100% residency is rejected.
+    #[test]
+    fn insane_outcome_is_caught() {
+        struct Broken;
+        impl PowerGovernor for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn evaluate(&self, _ctx: &GovernorContext) -> GovernorOutcome {
+                GovernorOutcome {
+                    gating: PowerGating::none(),
+                    sr_fraction: 0.8,
+                    pd_fraction: 0.7, // sums to 1.5
+                    overhead_s: -1.0,
+                }
+            }
+        }
+        let mut record = sanity_checker(Mode::Record);
+        checked_evaluate(&Broken, &ctx(true), &mut record).unwrap();
+        assert!(record.stats.violations >= 2, "{:?}", record.stats.recorded);
+        let mut strict = sanity_checker(Mode::Strict);
+        assert!(checked_evaluate(&Broken, &ctx(true), &mut strict).is_err());
+    }
+}

@@ -1,59 +1,86 @@
-//! Criterion micro-benchmarks of the substrate hot paths.
+//! Micro-benchmarks of the substrate hot paths.
+//!
+//! A self-contained harness (`harness = false`): each benchmark runs its
+//! closure in timed batches and reports ns/iter. This is the one place in
+//! the workspace allowed to read the wall clock — measuring real elapsed
+//! time is the point — so the `Instant` uses carry `detlint: allow`
+//! annotations and a scoped clippy allow.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gd_dram::{AddressMapper, LowPowerPolicy, MemRequest, MemorySystem};
 use gd_mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind};
 use gd_types::config::DramConfig;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_addr_decode(c: &mut Criterion) {
+/// Times `f` over enough iterations to fill ~50 ms and prints ns/iter.
+#[allow(clippy::disallowed_methods)] // benchmark harness measures wall time
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up and calibration.
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now(); // detlint: allow(instant)
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = t0.elapsed();
+        if elapsed.as_millis() >= 10 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    // Measurement: best of three batches.
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now(); // detlint: allow(instant)
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best_ns = best_ns.min(ns);
+    }
+    println!("{name:<32} {best_ns:>12.1} ns/iter ({iters} iters)");
+}
+
+fn bench_addr_decode() {
     let mapper = AddressMapper::new(&DramConfig::ddr4_2133_64gb()).unwrap();
-    c.bench_function("addrmap/decode", |b| {
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = (addr + 0x9e3779b97f4a7c15) % mapper.capacity_bytes();
-            black_box(mapper.decode(black_box(addr & !63)).unwrap())
-        })
+    let mut addr = 0u64;
+    bench("addrmap/decode", || {
+        addr = (addr.wrapping_add(0x9e37_79b9_7f4a_7c15)) % mapper.capacity_bytes();
+        black_box(mapper.decode(black_box(addr & !63)).unwrap());
     });
 }
 
-fn bench_buddy(c: &mut Criterion) {
-    c.bench_function("buddy/alloc_free_order3", |b| {
-        let mut buddy = BuddyAllocator::new(1 << 15);
-        b.iter(|| {
-            let off = buddy.alloc(3).unwrap();
-            buddy.free(black_box(off), 3);
-        })
+fn bench_buddy() {
+    let mut buddy = BuddyAllocator::new(1 << 15);
+    bench("buddy/alloc_free_order3", || {
+        let off = buddy.alloc(3).unwrap();
+        buddy.free(black_box(off), 3);
     });
 }
 
-fn bench_controller(c: &mut Criterion) {
-    c.bench_function("dram/run_trace_1k_reads", |b| {
-        b.iter(|| {
-            let mut sys =
-                MemorySystem::new(DramConfig::small_test(), LowPowerPolicy::disabled())
-                    .unwrap();
-            let reqs: Vec<_> = (0..1000u64).map(|i| MemRequest::read(i * 64, i * 4)).collect();
-            black_box(sys.run_trace(reqs).unwrap())
-        })
+fn bench_controller() {
+    bench("dram/run_trace_1k_reads", || {
+        let mut sys =
+            MemorySystem::new(DramConfig::small_test(), LowPowerPolicy::disabled()).unwrap();
+        let reqs: Vec<_> = (0..1000u64)
+            .map(|i| MemRequest::read(i * 64, i * 4))
+            .collect();
+        black_box(sys.run_trace(reqs).unwrap());
     });
 }
 
-fn bench_hotplug(c: &mut Criterion) {
-    c.bench_function("mmsim/offline_online_cycle", |b| {
-        let mut mm = MemoryManager::new(MmConfig::small_test()).unwrap();
-        mm.allocate(1000, PageKind::UserMovable).unwrap();
-        b.iter(|| {
-            mm.offline_block(15).unwrap().unwrap();
-            mm.online_block(15).unwrap();
-        })
+fn bench_hotplug() {
+    let mut mm = MemoryManager::new(MmConfig::small_test()).unwrap();
+    mm.allocate(1000, PageKind::UserMovable).unwrap();
+    bench("mmsim/offline_online_cycle", || {
+        mm.offline_block(15).unwrap().unwrap();
+        mm.online_block(15).unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_addr_decode,
-    bench_buddy,
-    bench_controller,
-    bench_hotplug
-);
-criterion_main!(benches);
+fn main() {
+    bench_addr_decode();
+    bench_buddy();
+    bench_controller();
+    bench_hotplug();
+}

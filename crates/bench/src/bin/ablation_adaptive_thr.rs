@@ -14,9 +14,8 @@ fn main() {
         &widths,
     );
     for p in spec2006_offlining_set() {
-        let fixed =
-            block_size_experiment(&p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-                .expect("co-sim");
+        let fixed = block_size_experiment(&p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
+            .expect("co-sim");
         let adaptive = block_size_experiment(
             &p,
             128,

@@ -20,10 +20,9 @@ fn main() {
     );
     for name in apps {
         let p = by_name(name).expect("profile");
-        let with = measure_app(&p, cfg, InterleaveMode::Interleaved, requests, 1)
-            .expect("cycle sim");
-        let without =
-            measure_app(&p, cfg, InterleaveMode::Linear, requests, 1).expect("cycle sim");
+        let with =
+            measure_app(&p, cfg, InterleaveMode::Interleaved, requests, 1).expect("cycle sim");
+        let without = measure_app(&p, cfg, InterleaveMode::Linear, requests, 1).expect("cycle sim");
         let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
         let e_with = find_row(&rows, "srf_only", true).expect("cell").system_j;
         let e_without = find_row(&rows, "srf_only", false).expect("cell").system_j;

@@ -13,13 +13,23 @@ fn main() {
     println!("bit fields (LSB -> MSB):");
     println!("  [{:>2} b] cache-line offset", l.offset);
     println!("  [{:>2} b] channel select      (interleaved)", l.channel);
-    println!("  [{:>2} b] bank group select   (interleaved)", l.bank_group);
+    println!(
+        "  [{:>2} b] bank group select   (interleaved)",
+        l.bank_group
+    );
     println!("  [{:>2} b] bank select         (interleaved)", l.bank);
     println!("  [{:>2} b] column (cache line)", l.column);
     println!("  [{:>2} b] rank select         (interleaved)", l.rank);
     println!("  [{:>2} b] local row  <- local row decoder", l.local_row);
-    println!("  [{:>2} b] sub-array  <- global row decoder (MSBs)", l.subarray);
-    println!("  total {} bits = {} GB\n", l.total(), (1u64 << l.total()) >> 30);
+    println!(
+        "  [{:>2} b] sub-array  <- global row decoder (MSBs)",
+        l.subarray
+    );
+    println!(
+        "  total {} bits = {} GB\n",
+        l.total(),
+        (1u64 << l.total()) >> 30
+    );
     println!(
         "sub-array groups: {} x {} MB = {} GB ({}% of capacity each)",
         mapper.subarray_groups(),

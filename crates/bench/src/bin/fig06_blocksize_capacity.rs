@@ -16,8 +16,9 @@ fn main() {
     for p in spec2006_offlining_set() {
         let mut cells = vec![p.name.to_string()];
         for block_mib in [128u64, 256, 512] {
-            let r = block_size_experiment(&p, block_mib, GreenDimmConfig::paper_default(), |c| c, 1)
-                .expect("co-sim");
+            let r =
+                block_size_experiment(&p, block_mib, GreenDimmConfig::paper_default(), |c| c, 1)
+                    .expect("co-sim");
             cells.push(f2(r.offlined_gib_avg));
         }
         row(&cells, &widths);

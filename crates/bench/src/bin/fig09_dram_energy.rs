@@ -3,13 +3,17 @@
 //! energy 38 % for SPEC and 60 % for data-center workloads on average,
 //! and beats RAMZzz/PASR by ~49 pp when interleaving is on).
 
-use gd_bench::energy::evaluate_app;
+use gd_bench::energy::{evaluate_app_opts, MeasureOpts};
 use gd_bench::report::{f2, header, row};
 use gd_types::config::DramConfig;
 use gd_types::stats::geomean;
 use gd_workloads::energy_figure_set;
 
 fn main() {
+    let opts = MeasureOpts::from_args();
+    if opts.strict_validate {
+        println!("[strict-validate: protocol + governor invariants enforced]");
+    }
     let cfg = DramConfig::ddr4_2133_64gb();
     let requests = 20_000;
     let widths = [16, 9, 9, 9, 9, 9, 9, 9, 9];
@@ -23,7 +27,7 @@ fn main() {
     println!("('-' = w/o interleaving, '+' = w/ interleaving)");
     let mut gd_norms = Vec::new();
     for p in energy_figure_set() {
-        let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
+        let rows = evaluate_app_opts(&p, cfg, requests, 1, opts).expect("energy");
         let cell = |policy: &str, intlv: bool| {
             gd_bench::find_row(&rows, policy, intlv)
                 .map(|r| r.dram_norm)

@@ -2,13 +2,19 @@
 //! (paper: gcc variants worst at <3 %, everything else <2 %, and no
 //! visible p95/p99 degradation for the latency-critical services).
 
-use gd_bench::blocks::{block_size_experiment, nominal_runtime_s};
+use gd_bench::blocks::{block_size_experiment_verified, nominal_runtime_s};
+use gd_bench::energy::MeasureOpts;
 use gd_bench::report::{header, pct, row};
 use gd_types::stats::percentile;
 use gd_workloads::energy_figure_set;
 use greendimm::GreenDimmConfig;
 
 fn main() {
+    let opts = MeasureOpts::from_args();
+    let verify = opts.strict_validate.then_some(gd_verify::Mode::Strict);
+    if verify.is_some() {
+        println!("[strict-validate: co-simulation invariants enforced]");
+    }
     let widths = [16, 10, 12];
     header(
         "Fig. 11: execution-time increase by GreenDIMM (1 GB-equivalent blocks)",
@@ -17,8 +23,15 @@ fn main() {
     );
     let mut lc_reports = Vec::new();
     for p in energy_figure_set() {
-        let r = block_size_experiment(&p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-            .expect("co-sim");
+        let r = block_size_experiment_verified(
+            &p,
+            128,
+            GreenDimmConfig::paper_default(),
+            |c| c,
+            1,
+            verify,
+        )
+        .expect("co-sim");
         row(
             &[
                 p.name.to_string(),

@@ -34,9 +34,10 @@ fn main() {
         // paper fits to its 256 GB measurement).
         let scale = cap_gb as f64 / 256.0;
         let dram_w = p256 * scale;
-        let gd_w = base_model
-            .analytic_power_w(&activity, &PowerGating::deep_pd(run.mean_deep_pd_fraction()))
-            * scale;
+        let gd_w = base_model.analytic_power_w(
+            &activity,
+            &PowerGating::deep_pd(run.mean_deep_pd_fraction()),
+        ) * scale;
         let ksm_w = base_model.analytic_power_w(
             &activity,
             &PowerGating::deep_pd(ksm_run.mean_deep_pd_fraction()),

@@ -8,7 +8,6 @@ use gd_mmsim::{MemoryManager, MmConfig, PageKind, PAGE_BYTES};
 use gd_types::{Result, SimTime};
 use gd_workloads::AppProfile;
 use greendimm::{Daemon, DaemonStats, EpochSim, FootprintDriver, GreenDimmConfig, GroupMap};
-use serde::{Deserialize, Serialize};
 
 /// Managed capacity for the block-size studies (the paper's
 /// `movablecore=8G` example).
@@ -19,7 +18,7 @@ pub const MANAGED_BYTES: u64 = 8 << 30;
 pub const NOMINAL_LATENCY_CYCLES: f64 = 120.0;
 
 /// Result of one (app, block-size, selector) co-simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockSizeRow {
     /// Benchmark name.
     pub app: String,
@@ -51,6 +50,24 @@ pub fn block_size_experiment(
     mm_cfg_tweaks: impl FnOnce(MmConfig) -> MmConfig,
     seed: u64,
 ) -> Result<BlockSizeRow> {
+    block_size_experiment_verified(profile, block_mib, gd_cfg, mm_cfg_tweaks, seed, None)
+}
+
+/// [`block_size_experiment`] with optional runtime invariant checking on
+/// the co-simulation (`--strict-validate` in the figure binaries).
+///
+/// # Errors
+///
+/// Propagates simulator-setup errors; with `Some(Mode::Strict)`, also any
+/// invariant violation the harness detects.
+pub fn block_size_experiment_verified(
+    profile: &AppProfile,
+    block_mib: u64,
+    gd_cfg: GreenDimmConfig,
+    mm_cfg_tweaks: impl FnOnce(MmConfig) -> MmConfig,
+    seed: u64,
+    verify: Option<gd_verify::Mode>,
+) -> Result<BlockSizeRow> {
     let mm_cfg = mm_cfg_tweaks(MmConfig {
         capacity_bytes: MANAGED_BYTES,
         block_bytes: block_mib << 20,
@@ -67,6 +84,9 @@ pub fn block_size_experiment(
     let map = GroupMap::new(MANAGED_BYTES, 64, mm_cfg.block_bytes)?;
     let daemon = Daemon::new(gd_cfg.with_seed(seed), map);
     let mut sim = EpochSim::new(mm, daemon, None);
+    if let Some(mode) = verify {
+        sim.enable_verification(mode);
+    }
     sim.settle(120)?;
     let settle_stats = sim.daemon.stats;
 
@@ -96,8 +116,7 @@ pub fn block_size_experiment(
         let _ = sim.set_footprint(&mut cache, cache_target);
         sim.step(SimTime::from_secs(1))?;
         let info = sim.mm.meminfo();
-        offline_gib_sum +=
-            (info.offline_pages * PAGE_BYTES) as f64 / (1u64 << 30) as f64;
+        offline_gib_sum += (info.offline_pages * PAGE_BYTES) as f64 / (1u64 << 30) as f64;
     }
     // Counters attributable to the app run (settling excluded, as the paper
     // measures during benchmark execution).
@@ -141,22 +160,10 @@ mod tests {
         // Fig. 6's headline: gcc off-lines more with 128 MB than 512 MB
         // blocks because of quantization and churn.
         let gcc = by_name("gcc").unwrap();
-        let r128 = block_size_experiment(
-            &gcc,
-            128,
-            GreenDimmConfig::paper_default(),
-            |c| c,
-            1,
-        )
-        .unwrap();
-        let r512 = block_size_experiment(
-            &gcc,
-            512,
-            GreenDimmConfig::paper_default(),
-            |c| c,
-            1,
-        )
-        .unwrap();
+        let r128 =
+            block_size_experiment(&gcc, 128, GreenDimmConfig::paper_default(), |c| c, 1).unwrap();
+        let r512 =
+            block_size_experiment(&gcc, 512, GreenDimmConfig::paper_default(), |c| c, 1).unwrap();
         assert!(
             r128.offlined_gib_avg >= r512.offlined_gib_avg,
             "128MB {} vs 512MB {}",
@@ -170,11 +177,9 @@ mod tests {
         // Table 2's trend for a churning app.
         let gcc = by_name("gcc").unwrap();
         let r128 =
-            block_size_experiment(&gcc, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-                .unwrap();
+            block_size_experiment(&gcc, 128, GreenDimmConfig::paper_default(), |c| c, 1).unwrap();
         let r512 =
-            block_size_experiment(&gcc, 512, GreenDimmConfig::paper_default(), |c| c, 1)
-                .unwrap();
+            block_size_experiment(&gcc, 512, GreenDimmConfig::paper_default(), |c| c, 1).unwrap();
         assert!(
             r128.hotplug_events > r512.hotplug_events,
             "128MB {} vs 512MB {}",
@@ -187,8 +192,8 @@ mod tests {
     fn overhead_stays_small() {
         // Fig. 7: all cases below ~3 %.
         let mcf = by_name("mcf").unwrap();
-        let r = block_size_experiment(&mcf, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-            .unwrap();
+        let r =
+            block_size_experiment(&mcf, 128, GreenDimmConfig::paper_default(), |c| c, 1).unwrap();
         assert!(r.overhead_fraction < 0.06, "{}", r.overhead_fraction);
     }
 

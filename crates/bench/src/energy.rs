@@ -3,15 +3,40 @@
 use gd_baselines::{
     GovernorContext, GovernorOutcome, GreenDimmGovernor, Pasr, PowerGovernor, RamZzz, SrfOnly,
 };
-use gd_dram::{LowPowerPolicy, MemorySystem};
+use gd_dram::{LowPowerPolicy, MemorySystem, TimingChecker};
 use gd_power::{ActivityProfile, DramPowerModel, SystemPowerModel};
 use gd_types::config::{DramConfig, InterleaveMode};
-use gd_types::Result;
+use gd_types::{GdError, Result};
 use gd_workloads::{estimate_runtime, AppProfile, TraceGenerator};
-use serde::{Deserialize, Serialize};
+
+/// Options for the measurement/evaluation pipeline behind Figs. 3/9/10.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeasureOpts {
+    /// Replay-validate the full command stream of every cycle-level run
+    /// against the independent protocol checker ([`gd_dram::validate`]) and
+    /// run every governor outcome under the Strict sanity invariant
+    /// ([`gd_baselines::sanity`]); any violation aborts the figure.
+    /// Enabled by `--strict-validate` on the figure binaries.
+    pub strict_validate: bool,
+}
+
+impl MeasureOpts {
+    /// Parses the figure binaries' shared command line: `--strict-validate`
+    /// (or a `GD_STRICT_VALIDATE=1` environment) turns the verification
+    /// gate on.
+    pub fn from_args() -> Self {
+        let strict = std::env::args().skip(1).any(|a| a == "--strict-validate")
+            || std::env::var("GD_STRICT_VALIDATE")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        MeasureOpts {
+            strict_validate: strict,
+        }
+    }
+}
 
 /// What one cycle-level run of a benchmark measured.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppMeasurement {
     /// Interleaving was enabled.
     pub interleaved: bool,
@@ -38,8 +63,29 @@ pub fn measure_app(
     requests: usize,
     seed: u64,
 ) -> Result<AppMeasurement> {
+    measure_app_opts(profile, cfg, mode, requests, seed, MeasureOpts::default())
+}
+
+/// [`measure_app`] with explicit [`MeasureOpts`].
+///
+/// # Errors
+///
+/// Propagates simulator configuration errors; with
+/// [`MeasureOpts::strict_validate`], also protocol violations in the
+/// scheduler's command stream.
+pub fn measure_app_opts(
+    profile: &AppProfile,
+    cfg: DramConfig,
+    mode: InterleaveMode,
+    requests: usize,
+    seed: u64,
+    opts: MeasureOpts,
+) -> Result<AppMeasurement> {
     let cfg = cfg.with_interleave(mode);
     let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())?;
+    if opts.strict_validate {
+        sys.enable_command_log();
+    }
     let cap = cfg.total_capacity_bytes();
     let mut gen = TraceGenerator::new(profile.clone(), seed);
     let trace: Vec<_> = gen
@@ -51,6 +97,17 @@ pub fn measure_app(
         })
         .collect();
     let stats = sys.run_trace(trace)?;
+    if opts.strict_validate {
+        let log = sys.take_command_log();
+        let violations = TimingChecker::for_config(&cfg).check(&log);
+        if let Some(first) = violations.first() {
+            return Err(GdError::InvalidState(format!(
+                "{} protocol violation(s) in {} under {mode:?}; first: {first}",
+                violations.len(),
+                profile.name,
+            )));
+        }
+    }
     let avg_latency = stats.read_latency.mean().unwrap_or(60.0);
     let model = DramPowerModel::new(cfg);
 
@@ -63,8 +120,7 @@ pub fn measure_app(
     //     that makes interleaving matter (Fig. 3a).
     let t = cfg.timing;
     let unloaded_latency = (t.t_rcd + t.cl + t.burst_cycles() + 8) as f64;
-    let delivered_per_cycle =
-        (stats.reads + stats.writes) as f64 / stats.cycles.max(1) as f64;
+    let delivered_per_cycle = (stats.reads + stats.writes) as f64 / stats.cycles.max(1) as f64;
     // Little's law: a core keeping at most MLP misses outstanding perceives
     // latency no larger than MLP / throughput, however long the open-loop
     // probe's queues grew.
@@ -86,7 +142,7 @@ pub fn measure_app(
 }
 
 /// One cell of Figs. 9/10: a (policy, interleave) combination for one app.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyRow {
     /// Benchmark name.
     pub app: String,
@@ -147,8 +203,32 @@ pub fn evaluate_app(
     requests: usize,
     seed: u64,
 ) -> Result<Vec<EnergyRow>> {
-    let with = measure_app(profile, cfg, InterleaveMode::Interleaved, requests, seed)?;
-    let without = measure_app(profile, cfg, InterleaveMode::Linear, requests, seed)?;
+    evaluate_app_opts(profile, cfg, requests, seed, MeasureOpts::default())
+}
+
+/// [`evaluate_app`] with explicit [`MeasureOpts`].
+///
+/// # Errors
+///
+/// Propagates cycle-simulation errors; with
+/// [`MeasureOpts::strict_validate`], also scheduler protocol violations and
+/// governor sanity violations.
+pub fn evaluate_app_opts(
+    profile: &AppProfile,
+    cfg: DramConfig,
+    requests: usize,
+    seed: u64,
+    opts: MeasureOpts,
+) -> Result<Vec<EnergyRow>> {
+    let with = measure_app_opts(
+        profile,
+        cfg,
+        InterleaveMode::Interleaved,
+        requests,
+        seed,
+        opts,
+    )?;
+    let without = measure_app_opts(profile, cfg, InterleaveMode::Linear, requests, seed, opts)?;
     let model = DramPowerModel::new(cfg);
     let system = SystemPowerModel::default();
     let cpu_util = 0.6;
@@ -174,13 +254,19 @@ pub fn evaluate_app(
         Box::new(GreenDimmGovernor::default()),
     ];
 
+    let mut sanity = opts
+        .strict_validate
+        .then(|| gd_baselines::sanity_checker(gd_verify::Mode::Strict));
     let mut rows = Vec::new();
     let mut baseline: Option<(f64, f64)> = None;
     // Baseline first: (w/o interleave, srf_only).
     for meas in [&without, &with] {
         let ctx = make_ctx(meas);
         for g in &governors {
-            let out = g.evaluate(&ctx);
+            let out = match &mut sanity {
+                Some(checker) => gd_baselines::checked_evaluate(g.as_ref(), &ctx, checker)?,
+                None => g.evaluate(&ctx),
+            };
             let (runtime, dram_j, system_j) =
                 energy_cell(&model, &system, profile, meas, &out, cpu_util);
             if g.name() == "srf_only" && !meas.interleaved {
@@ -240,8 +326,7 @@ mod tests {
     #[test]
     fn interleaving_speeds_up_memory_intensive() {
         let p = small_profile();
-        let with =
-            measure_app(&p, small(), InterleaveMode::Interleaved, 8_000, 1).unwrap();
+        let with = measure_app(&p, small(), InterleaveMode::Interleaved, 8_000, 1).unwrap();
         let without = measure_app(&p, small(), InterleaveMode::Linear, 8_000, 1).unwrap();
         assert!(
             without.runtime_s > with.runtime_s * 1.3,
@@ -262,7 +347,12 @@ mod tests {
         let srf = find_row(&rows, "srf_only", true).unwrap();
         let ramzzz = find_row(&rows, "RAMZzz", true).unwrap();
         let pasr = find_row(&rows, "PASR", true).unwrap();
-        assert!(gd.dram_norm < srf.dram_norm * 0.9, "gd {} srf {}", gd.dram_norm, srf.dram_norm);
+        assert!(
+            gd.dram_norm < srf.dram_norm * 0.9,
+            "gd {} srf {}",
+            gd.dram_norm,
+            srf.dram_norm
+        );
         assert!(gd.dram_norm < ramzzz.dram_norm);
         assert!(gd.dram_norm < pasr.dram_norm);
     }
@@ -274,6 +364,18 @@ mod tests {
         let base = find_row(&rows, "srf_only", false).unwrap();
         assert!((base.dram_norm - 1.0).abs() < 1e-9);
         assert!((base.system_norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strict_validation_passes_on_clean_runs() {
+        let p = small_profile();
+        let opts = MeasureOpts {
+            strict_validate: true,
+        };
+        // Protocol replay + governor sanity both enabled: any scheduler or
+        // governor defect turns this into an Err.
+        let rows = evaluate_app_opts(&p, small(), 4_000, 4, opts).unwrap();
+        assert_eq!(rows.len(), 8);
     }
 
     #[test]

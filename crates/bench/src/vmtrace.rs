@@ -5,11 +5,10 @@ use gd_mmsim::{AllocationId, MemoryManager, MmConfig, PageKind};
 use gd_types::{Result, SimTime};
 use gd_workloads::azure::{synthesize, AzureConfig, VmEventKind};
 use greendimm::{Daemon, DaemonStats, EpochSim, FootprintDriver, GreenDimmConfig, GroupMap};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration of one VM-trace run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmTraceConfig {
     /// Installed memory capacity in GiB (the paper scales 256 GB → 1 TB in
     /// Fig. 13 while the VM load stays the same).
@@ -49,7 +48,7 @@ impl VmTraceConfig {
 }
 
 /// One sampled point of the co-simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmTraceSample {
     /// Seconds from trace start.
     pub time_s: u64,
@@ -62,7 +61,7 @@ pub struct VmTraceSample {
 }
 
 /// Full outcome of a VM-trace run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VmTraceOutcome {
     /// Per-scheduler-tick samples.
     pub samples: Vec<VmTraceSample>,
@@ -201,11 +200,7 @@ pub fn run_vm_trace(cfg: &VmTraceConfig) -> Result<VmTraceOutcome> {
             deep_pd_fraction: sim.deep_pd_fraction(),
         });
     }
-    let released = sim
-        .ksm
-        .as_ref()
-        .map(|k| k.frames_released())
-        .unwrap_or(0);
+    let released = sim.ksm.as_ref().map(|k| k.frames_released()).unwrap_or(0);
     Ok(VmTraceOutcome {
         samples,
         daemon: sim.daemon.stats,
@@ -220,7 +215,11 @@ mod tests {
     #[test]
     fn greendimm_offlines_unused_blocks() {
         let out = run_vm_trace(&VmTraceConfig::short_test()).unwrap();
-        assert!(out.mean_offline_blocks() > 20.0, "{}", out.mean_offline_blocks());
+        assert!(
+            out.mean_offline_blocks() > 20.0,
+            "{}",
+            out.mean_offline_blocks()
+        );
         assert!(out.mean_deep_pd_fraction() > 0.05);
         assert!(out.daemon.offline_events > 0);
     }

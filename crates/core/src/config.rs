@@ -1,10 +1,9 @@
 //! GreenDIMM daemon configuration.
 
 use gd_types::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// How `block_selector()` picks off-lining candidates (§5.2, Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SelectorPolicy {
     /// The paper's production policy: only *movable* blocks whose pages are
     /// all unused — off-lining never migrates data and never fails.
@@ -20,7 +19,7 @@ pub enum SelectorPolicy {
 }
 
 /// Daemon tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GreenDimmConfig {
     /// `memory_usage_monitor()` period. The paper uses 1 s: shorter periods
     /// add overhead without off-lining more.

@@ -8,9 +8,11 @@
 //! from state-residency fractions.
 
 use crate::daemon::{Daemon, TickReport};
+use crate::verify::VerifyHarness;
 use gd_ksm::Ksm;
 use gd_mmsim::{AllocationId, MemoryManager, PageKind};
 use gd_types::{Result, SimTime};
+use gd_verify::obs::DaemonTickObs;
 
 /// Keeps one allocation sized to a moving target (an application footprint
 /// following its profile dynamics).
@@ -101,6 +103,8 @@ pub struct EpochSim {
     pub daemon: Daemon,
     /// Optional KSM daemon.
     pub ksm: Option<Ksm>,
+    /// Optional runtime invariant checking (see [`crate::verify`]).
+    pub verify: Option<VerifyHarness>,
     now: SimTime,
     next_monitor: SimTime,
 }
@@ -113,9 +117,19 @@ impl EpochSim {
             mm,
             daemon,
             ksm,
+            verify: None,
             now: SimTime::ZERO,
             next_monitor,
         }
+    }
+
+    /// Enables runtime invariant checking with the standard invariant sets.
+    /// In [`gd_verify::Mode::Strict`] the first violation aborts the
+    /// simulation; in [`gd_verify::Mode::Record`] violations accumulate in
+    /// [`verify`](Self::verify) for post-run inspection.
+    pub fn enable_verification(&mut self, mode: gd_verify::Mode) -> &mut Self {
+        self.verify = Some(VerifyHarness::new(mode));
+        self
     }
 
     /// Current simulated time.
@@ -158,7 +172,22 @@ impl EpochSim {
             self.now = next;
             let fast_path = merged > 0 && self.daemon.config().ksm_fast_path;
             if self.now >= self.next_monitor || fast_path {
+                let free_before = self.mm.meminfo().free_pages;
                 let r = self.daemon.tick(self.now, &mut self.mm)?;
+                if let Some(v) = &mut self.verify {
+                    let info = self.mm.meminfo();
+                    let block_pages = self.mm.block_pages();
+                    let obs = DaemonTickObs {
+                        free_before,
+                        free_after: info.free_pages,
+                        total_after: info.total_pages,
+                        offlined_pages: u64::from(r.offlined) * block_pages,
+                        onlined_pages: u64::from(r.onlined) * block_pages,
+                        off_thr: self.daemon.effective_off_thr(),
+                        on_thr: self.daemon.config().on_thr,
+                    };
+                    v.after_tick(&self.daemon, &self.mm, self.ksm.as_ref(), obs)?;
+                }
                 aggregate.offlined += r.offlined;
                 aggregate.onlined += r.onlined;
                 aggregate.failures += r.failures;
@@ -181,10 +210,17 @@ impl EpochSim {
     pub fn set_footprint(&mut self, fp: &mut FootprintDriver, target: u64) -> Result<()> {
         match fp.set_target(&mut self.mm, target) {
             Ok(()) => Ok(()),
-            Err(gd_types::GdError::OutOfMemory { requested_pages, .. }) => {
+            Err(gd_types::GdError::OutOfMemory {
+                requested_pages, ..
+            }) => {
                 let now = self.now;
                 self.daemon
                     .handle_allocation_stall(now, &mut self.mm, requested_pages)?;
+                if let Some(v) = &mut self.verify {
+                    // The stall path changed hotplug + register state outside
+                    // a monitor tick; re-check the state invariants.
+                    v.check_state(&self.daemon, &self.mm, self.ksm.as_ref())?;
+                }
                 fp.set_target(&mut self.mm, target)
             }
             Err(e) => Err(e),

@@ -6,15 +6,13 @@ use crate::groupmap::GroupMap;
 use crate::registers::{GroupRegisterFile, DEEP_PD_EXIT};
 use gd_mmsim::{MemoryManager, OfflineErrno};
 use gd_types::ids::SubArrayGroup;
-use gd_types::rng::component_rng;
+use gd_types::rng::{component_rng, StdRng};
 use gd_types::{Result, SimTime};
-use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Counters the daemon accumulates over a run (Tables 2–3, Fig. 8, and the
 /// overhead model behind Figs. 7 and 11).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DaemonStats {
     /// Monitor ticks executed.
     pub ticks: u64,
@@ -44,7 +42,7 @@ impl DaemonStats {
 }
 
 /// What one monitor tick did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TickReport {
     /// Blocks off-lined.
     pub offlined: u32,
@@ -166,12 +164,9 @@ impl Daemon {
         while attempts < self.cfg.max_attempts_per_tick
             && mm.meminfo().free_pages > off_floor + block_pages
         {
-            let Some(block) = crate::selector::pick_candidate(
-                mm,
-                self.cfg.selector,
-                &excluded,
-                &mut self.rng,
-            ) else {
+            let Some(block) =
+                crate::selector::pick_candidate(mm, self.cfg.selector, &excluded, &mut self.rng)
+            else {
                 break;
             };
             attempts += 1;
@@ -209,14 +204,7 @@ impl Daemon {
             let Some(block) = mm.blocks().iter().find(|b| !b.online).map(|b| b.index) else {
                 break; // everything already on-line
             };
-            // Wake the sub-array groups this block belongs to and poll the
-            // ready bit before online_pages() (§4.2).
-            for g in self.map.groups_of_block(block)? {
-                if self.registers.is_down(g) {
-                    self.registers.set(g, false, now)?;
-                    self.stats.hotplug_time += DEEP_PD_EXIT;
-                }
-            }
+            self.wake_groups_for_block(now, block)?;
             let latency = mm.online_block(block)?;
             self.stats.online_events += 1;
             self.stats.hotplug_time += latency;
@@ -250,12 +238,7 @@ impl Daemon {
             let Some(block) = mm.blocks().iter().find(|b| !b.online).map(|b| b.index) else {
                 break;
             };
-            for g in self.map.groups_of_block(block)? {
-                if self.registers.is_down(g) {
-                    self.registers.set(g, false, now)?;
-                    self.stats.hotplug_time += DEEP_PD_EXIT;
-                }
-            }
+            self.wake_groups_for_block(now, block)?;
             let latency = mm.online_block(block)?;
             self.stats.online_events += 1;
             self.stats.hotplug_time += latency;
@@ -264,13 +247,31 @@ impl Daemon {
         Ok(onlined)
     }
 
+    /// Wakes every sub-array group a block about to be on-lined belongs to,
+    /// polling the ready bit before `online_pages()` (§4.2). Under the
+    /// shared-sense-amp neighbour constraint the buddy of each woken group
+    /// must also leave deep power-down: once this block is on-line its
+    /// groups receive traffic, and a powered-down buddy would be missing
+    /// the sense amplifiers that traffic needs (§6.1).
+    fn wake_groups_for_block(&mut self, now: SimTime, block: usize) -> Result<()> {
+        for g in self.map.groups_of_block(block)? {
+            let mut wake = vec![g];
+            if self.cfg.neighbor_constraint {
+                wake.push(self.map.sense_amp_buddy(g));
+            }
+            for g in wake {
+                if self.registers.is_down(g) {
+                    self.registers.set(g, false, now)?;
+                    self.stats.hotplug_time += DEEP_PD_EXIT;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// After off-lining, move every fully-off-lined group into deep
     /// power-down (honouring the shared-sense-amp neighbour constraint).
-    fn update_registers_after_offline(
-        &mut self,
-        now: SimTime,
-        mm: &MemoryManager,
-    ) -> Result<()> {
+    fn update_registers_after_offline(&mut self, now: SimTime, mm: &MemoryManager) -> Result<()> {
         let offline_flags: Vec<bool> = mm.blocks().iter().map(|b| !b.online).collect();
         // The managed geometry may be smaller than the whole machine (the
         // paper manages a movablecore region); map only the managed prefix.
@@ -392,6 +393,42 @@ mod tests {
     }
 
     #[test]
+    fn onlining_wakes_sense_amp_buddy_group() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert!(
+            d.registers().down_count() >= 4,
+            "need deep-PD groups to test"
+        );
+        // Pressure calibrated so the on-line pass restores exactly ONE
+        // block: a single block of a buddy pair comes back on-line, which is
+        // the case where forgetting to wake the buddy group breaks §6.1.
+        let info = mm.meminfo();
+        let on_floor = (0.05 * info.installed_pages as f64) as u64;
+        mm.allocate(info.free_pages - (on_floor - 300), PageKind::UserMovable)
+            .unwrap();
+        d.tick(SimTime::from_secs(30), &mut mm).unwrap();
+        assert!(d.stats.online_events > 0);
+        // §6.1 safety: every group still in deep power-down must have a
+        // fully-off-lined sense-amp buddy — an on-lined block whose buddy
+        // group stayed down would receive traffic without sense amps.
+        let offline: Vec<bool> = mm.blocks().iter().map(|b| !b.online).collect();
+        let fully = d.map.fully_offline_groups(&offline[..d.map.blocks()]);
+        for g in 0..d.map.groups() {
+            let group = SubArrayGroup::new(g);
+            if d.registers().is_down(group) {
+                let buddy = d.map.sense_amp_buddy(group);
+                assert!(
+                    fully.get(buddy.index()).copied().unwrap_or(false),
+                    "group {g} is down but its buddy has an on-line block"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn free_policy_never_fails() {
         let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
         mm.allocate(10_000, PageKind::UserMovable).unwrap();
@@ -431,7 +468,10 @@ mod tests {
         for s in 0..20 {
             d.tick(SimTime::from_secs(s), &mut mm).unwrap();
         }
-        assert!((d.effective_off_thr() - 0.10).abs() < 1e-9, "quiet: stays at base");
+        assert!(
+            (d.effective_off_thr() - 0.10).abs() < 1e-9,
+            "quiet: stays at base"
+        );
         // Provoke a stall: everything off-lined, then a large allocation.
         d.handle_allocation_stall(SimTime::from_secs(30), &mut mm, 30_000)
             .unwrap();

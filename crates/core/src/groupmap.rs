@@ -10,10 +10,9 @@
 
 use gd_types::ids::SubArrayGroup;
 use gd_types::{GdError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Block ↔ sub-array-group geometry for a managed capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupMap {
     groups: u32,
     group_bytes: u64,
@@ -33,18 +32,18 @@ impl GroupMap {
         if groups == 0 || block_bytes == 0 || managed_bytes == 0 {
             return Err(GdError::InvalidConfig("zero-sized group map".into()));
         }
-        if managed_bytes % groups as u64 != 0 {
+        if !managed_bytes.is_multiple_of(groups as u64) {
             return Err(GdError::InvalidConfig(format!(
                 "managed capacity {managed_bytes} not divisible into {groups} groups"
             )));
         }
         let group_bytes = managed_bytes / groups as u64;
-        if managed_bytes % block_bytes != 0 {
+        if !managed_bytes.is_multiple_of(block_bytes) {
             return Err(GdError::InvalidConfig(format!(
                 "managed capacity {managed_bytes} not divisible into {block_bytes}-byte blocks"
             )));
         }
-        if group_bytes % block_bytes != 0 && block_bytes % group_bytes != 0 {
+        if !group_bytes.is_multiple_of(block_bytes) && !block_bytes.is_multiple_of(group_bytes) {
             return Err(GdError::InvalidConfig(format!(
                 "block size {block_bytes} incommensurate with group size {group_bytes}"
             )));
@@ -156,10 +155,7 @@ mod tests {
         assert_eq!(m.blocks(), 16);
         assert_eq!(m.groups_per_block(), 4);
         let gs = m.groups_of_block(1).unwrap();
-        assert_eq!(
-            gs,
-            (4..8).map(SubArrayGroup::new).collect::<Vec<_>>()
-        );
+        assert_eq!(gs, (4..8).map(SubArrayGroup::new).collect::<Vec<_>>());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   optimization (Fig. 8);
 //! * [`cosim`] — the epoch-level co-simulation engine for system-scale
 //!   experiments;
+//! * [`verify`] — the runtime invariant harness binding the [`gd_verify`]
+//!   checkers to the co-simulation;
 //! * [`system`] — the one-call convenience API.
 //!
 //! # Quickstart
@@ -34,6 +36,7 @@ pub mod groupmap;
 pub mod registers;
 pub mod selector;
 pub mod system;
+pub mod verify;
 
 pub use config::{GreenDimmConfig, SelectorPolicy};
 pub use cosim::{EpochSim, FootprintDriver};
@@ -41,3 +44,4 @@ pub use daemon::{Daemon, DaemonStats, TickReport};
 pub use groupmap::GroupMap;
 pub use registers::{GroupRegisterFile, DEEP_PD_EXIT};
 pub use system::{AppRunReport, GreenDimmSystem, SystemConfig};
+pub use verify::VerifyHarness;

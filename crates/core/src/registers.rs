@@ -9,14 +9,13 @@
 
 use gd_types::ids::SubArrayGroup;
 use gd_types::{GdError, Result, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Deep power-down exit latency (= power-down exit; the DLL stays on).
 pub const DEEP_PD_EXIT: SimTime = SimTime::from_nanos(18);
 
 /// The bit-vector register with per-group power-down state and residency
 /// accounting for the power model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupRegisterFile {
     bits: Vec<bool>,
     since: Vec<SimTime>,

@@ -2,8 +2,7 @@
 
 use crate::config::SelectorPolicy;
 use gd_mmsim::MemoryManager;
-use rand::rngs::StdRng;
-use rand::Rng;
+use gd_types::rng::StdRng;
 use std::collections::HashSet;
 
 /// Picks an off-lining candidate under `policy`, skipping `excluded`
@@ -42,10 +41,7 @@ pub fn pick_candidate(
             // Blocks with unmovable pages are a last resort.
             let removable: Vec<_> = online.iter().filter(|b| b.removable).collect();
             if removable.is_empty() {
-                online
-                    .iter()
-                    .min_by_key(|b| b.used_pages)
-                    .map(|b| b.index)
+                online.iter().min_by_key(|b| b.used_pages).map(|b| b.index)
             } else {
                 Some(removable[rng.gen_range(0..removable.len())].index)
             }
@@ -123,8 +119,7 @@ mod tests {
         let n = mm.block_count();
         let excluded: HashSet<usize> = [n - 2].into_iter().collect();
         for _ in 0..20 {
-            let pick =
-                pick_candidate(&mm, SelectorPolicy::Random, &excluded, &mut rng).unwrap();
+            let pick = pick_candidate(&mm, SelectorPolicy::Random, &excluded, &mut rng).unwrap();
             assert_eq!(pick, n - 1);
         }
     }

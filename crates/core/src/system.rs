@@ -13,7 +13,6 @@ use gd_power::{ActivityProfile, DramPowerModel, PowerGating, SystemPowerModel};
 use gd_types::config::DramConfig;
 use gd_types::{Result, SimTime};
 use gd_workloads::{by_name, estimate_runtime, AppProfile, TraceGenerator};
-use serde::{Deserialize, Serialize};
 
 /// Calibrated per-event interference cost (seconds per on/off-lining event,
 /// per MPKI, per GiB of footprint): covers migration interference and TLB
@@ -26,7 +25,7 @@ pub const INTERFERENCE_COEFF: f64 = 0.0006;
 const KERNEL_RESERVED_FRACTION: f64 = 0.02;
 
 /// Configuration of a [`GreenDimmSystem`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// DRAM organization/timing.
     pub dram: DramConfig,
@@ -41,6 +40,10 @@ pub struct SystemConfig {
     /// CPU utilization assumed for the system-power model while the
     /// benchmark runs.
     pub cpu_util: f64,
+    /// When set, the co-simulation runs the standard invariant checkers
+    /// ([`crate::verify::VerifyHarness`]) in the given mode;
+    /// [`gd_verify::Mode::Strict`] turns any violation into an error.
+    pub verify: Option<gd_verify::Mode>,
 }
 
 impl SystemConfig {
@@ -53,6 +56,7 @@ impl SystemConfig {
             gd: GreenDimmConfig::paper_default(),
             probe_requests: 5_000,
             cpu_util: 0.5,
+            verify: None,
         }
     }
 
@@ -65,7 +69,16 @@ impl SystemConfig {
             gd: GreenDimmConfig::paper_default(),
             probe_requests: 30_000,
             cpu_util: 0.5,
+            verify: None,
         }
+    }
+
+    /// Returns the configuration with invariant verification enabled in
+    /// `mode` for the co-simulation phase.
+    #[must_use]
+    pub fn with_verify(mut self, mode: gd_verify::Mode) -> Self {
+        self.verify = Some(mode);
+        self
     }
 
     fn group_map(&self) -> Result<GroupMap> {
@@ -78,7 +91,7 @@ impl SystemConfig {
 }
 
 /// Everything measured from one benchmark run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppRunReport {
     /// Benchmark name.
     pub name: String,
@@ -172,25 +185,23 @@ impl GreenDimmSystem {
 
         // 3. Epoch co-simulation of the daemon against the footprint.
         let mut mm = MemoryManager::new(self.cfg.mm.with_seed(seed))?;
-        let kernel_pages =
-            (mm.meminfo().installed_pages as f64 * KERNEL_RESERVED_FRACTION) as u64;
+        let kernel_pages = (mm.meminfo().installed_pages as f64 * KERNEL_RESERVED_FRACTION) as u64;
         mm.allocate(kernel_pages.max(1), PageKind::KernelUnmovable)?;
         let daemon = Daemon::new(self.cfg.gd.with_seed(seed), self.cfg.group_map()?);
         let mut sim = EpochSim::new(mm, daemon, None);
+        if let Some(mode) = self.cfg.verify {
+            sim.enable_verification(mode);
+        }
         sim.settle(120)?;
 
         let mut fp = FootprintDriver::new();
         let managed_bytes = self.cfg.mm.capacity_bytes;
-        let peak_pages = profile
-            .footprint_bytes()
-            .min(managed_bytes * 8 / 10)
-            / PAGE_BYTES;
+        let peak_pages = profile.footprint_bytes().min(managed_bytes * 8 / 10) / PAGE_BYTES;
         let epochs = (baseline_runtime_s.ceil() as u64).clamp(10, 3_600);
         let mut offline_sum = 0.0;
         let mut deep_pd_sum = 0.0;
         for t in 0..epochs {
-            let frac = profile.footprint_fraction_at(t as f64 * baseline_runtime_s
-                / epochs as f64);
+            let frac = profile.footprint_fraction_at(t as f64 * baseline_runtime_s / epochs as f64);
             let target = (peak_pages as f64 * frac) as u64;
             // Growth past on-line capacity stalls on demand-driven
             // on-lining (charged to the overhead model via hotplug_time).
@@ -209,8 +220,7 @@ impl GreenDimmSystem {
             * profile.mpki.max(0.1)
             * (profile.footprint_bytes() as f64 / (1u64 << 30) as f64);
         let monitor_s = 0.001 * epochs as f64; // 1 ms of a core per tick
-        let overhead_s =
-            daemon_stats.hotplug_time.as_secs_f64() + interference_s + monitor_s;
+        let overhead_s = daemon_stats.hotplug_time.as_secs_f64() + interference_s + monitor_s;
         let runtime_s = baseline_runtime_s + overhead_s;
         let overhead_fraction = overhead_s / baseline_runtime_s;
 
@@ -288,5 +298,15 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_name_panics() {
         GreenDimmSystem::new(SystemConfig::small_test()).run_app("not-a-bench", 1);
+    }
+
+    #[test]
+    fn strict_verification_passes_full_run() {
+        let cfg = SystemConfig::small_test().with_verify(gd_verify::Mode::Strict);
+        let mut sys = GreenDimmSystem::new(cfg);
+        // Any invariant violation would abort run_profile with an error,
+        // which run_app escalates to a panic.
+        let report = sys.run_app("mcf", 7);
+        assert!(report.dram_energy_joules > 0.0);
     }
 }

@@ -346,7 +346,7 @@ mod tests {
             let cap = m.capacity_bytes();
             for i in 0..4096u64 {
                 // Sample across the full range with a large odd stride.
-                let addr = (i * 0x9e37_79b9 * CACHE_LINE_BYTES) % cap & !(CACHE_LINE_BYTES - 1);
+                let addr = ((i * 0x9e37_79b9 * CACHE_LINE_BYTES) % cap) & !(CACHE_LINE_BYTES - 1);
                 let coord = m.decode(addr).unwrap();
                 let back = m.encode(&coord).unwrap();
                 assert_eq!(addr, back, "mode {:?} addr {addr:#x}", m.mode());

@@ -4,7 +4,7 @@ use gd_types::config::DramTiming;
 
 /// Timing and row-buffer state of one bank (one logical bank across the
 /// rank's devices).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct BankState {
     /// Currently open full row (sub-array and local row combined), if any.
     pub open_row: Option<u32>,
@@ -16,18 +16,6 @@ pub(crate) struct BankState {
     pub next_write: u64,
     /// Earliest cycle a PRE may be issued to this bank.
     pub next_pre: u64,
-}
-
-impl Default for BankState {
-    fn default() -> Self {
-        BankState {
-            open_row: None,
-            next_act: 0,
-            next_read: 0,
-            next_write: 0,
-            next_pre: 0,
-        }
-    }
 }
 
 impl BankState {
@@ -49,9 +37,7 @@ impl BankState {
     /// Applies the timing consequences of a WRITE issued at `now`.
     pub fn on_write(&mut self, now: u64, t: &DramTiming) {
         // Write recovery: data end (CWL + BL/2) plus tWR before precharge.
-        self.next_pre = self
-            .next_pre
-            .max(now + t.cwl + t.burst_cycles() + t.t_wr);
+        self.next_pre = self.next_pre.max(now + t.cwl + t.burst_cycles() + t.t_wr);
     }
 
     /// Applies the timing consequences of a PRE issued at `now`.

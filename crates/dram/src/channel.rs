@@ -95,7 +95,15 @@ impl ChannelCtrl {
         self.log.take().unwrap_or_default()
     }
 
-    fn record(&mut self, cycle: u64, rank: u32, bank: u32, bank_group: u32, command: DramCommand) {
+    fn record(
+        &mut self,
+        cycle: u64,
+        rank: u32,
+        bank: u32,
+        bank_group: u32,
+        row: u32,
+        command: DramCommand,
+    ) {
         if let Some(log) = &mut self.log {
             log.push(CommandRecord {
                 cycle,
@@ -103,7 +111,24 @@ impl ChannelCtrl {
                 rank,
                 bank,
                 bank_group,
+                row,
                 command,
+            });
+        }
+    }
+
+    /// Logs the MRS write that programs a sub-array group's deep power-down
+    /// bit (row = group index, bank = the bit value).
+    pub fn record_mrs(&mut self, cycle: u64, group: u32, down: bool) {
+        if let Some(log) = &mut self.log {
+            log.push(CommandRecord {
+                cycle,
+                channel: self.channel_index,
+                rank: 0,
+                bank: u32::from(down),
+                bank_group: 0,
+                row: group,
+                command: DramCommand::ModeRegisterSet,
             });
         }
     }
@@ -198,8 +223,13 @@ impl ChannelCtrl {
                 continue;
             }
             if self.ranks[ri].power == RankPowerState::PowerDown {
-                // Must wake the rank to refresh it.
+                // Must wake the rank to refresh it — but CKE must have been
+                // low for at least tCKE before the exit.
+                if now < self.ranks[ri].state_since + self.timing.t_cke {
+                    continue;
+                }
                 self.ranks[ri].wake_at = Some(now + self.timing.t_xp);
+                self.record(now, ri as u32, 0, 0, 0, DramCommand::PowerDownExit);
                 return true;
             }
             if !self.ranks[ri].all_precharged() {
@@ -215,14 +245,14 @@ impl ChannelCtrl {
                             ri as u32,
                             bi as u32,
                             (bi / self.banks_per_group) as u32,
+                            0,
                             DramCommand::Precharge,
                         );
                         // Any queued request that had this row open must
                         // re-activate.
                         for p in &mut self.queue {
                             if p.coord.rank.index() == ri
-                                && p.coord.flat_bank(self.banks_per_group as u32)
-                                    == bi
+                                && p.coord.flat_bank(self.banks_per_group as u32) == bi
                             {
                                 p.phase = RequestPhase::NeedsActivate;
                             }
@@ -241,7 +271,7 @@ impl ChannelCtrl {
                 rank.refresh_until = until;
                 rank.next_refresh += self.timing.t_refi;
                 self.counters.refreshes += 1;
-                self.record(now, ri as u32, 0, 0, DramCommand::Refresh);
+                self.record(now, ri as u32, 0, 0, 0, DramCommand::Refresh);
                 return true;
             }
         }
@@ -305,7 +335,8 @@ impl ChannelCtrl {
             AccessKind::Read => DramCommand::Read,
             AccessKind::Write => DramCommand::Write,
         };
-        self.record(now, ri as u32, flat_bank as u32, bg as u32, cmd);
+        let row = self.full_row(&p);
+        self.record(now, ri as u32, flat_bank as u32, bg as u32, row, cmd);
         match p.req.kind {
             AccessKind::Read => {
                 self.banks[bidx].on_read(now, &t);
@@ -324,8 +355,7 @@ impl ChannelCtrl {
                 let data_end = now + t.cwl + t.burst_cycles();
                 self.bus_free_at = data_end;
                 // Write-to-read turnaround.
-                self.ranks[ri].next_read =
-                    self.ranks[ri].next_read.max(data_end + t.t_wtr_l);
+                self.ranks[ri].next_read = self.ranks[ri].next_read.max(data_end + t.t_wtr_l);
                 self.counters.writes += 1;
             }
         }
@@ -365,13 +395,17 @@ impl ChannelCtrl {
                 continue; // waking up
             }
             if rank_state.is_low_power() {
-                // Issue PDX / SRX.
-                let latency = match rank_state {
-                    RankPowerState::PowerDown => self.timing.t_xp,
-                    RankPowerState::SelfRefresh => self.timing.t_xs,
+                // Issue PDX / SRX — CKE must have been low for tCKE first.
+                if now < self.ranks[ri].state_since + self.timing.t_cke {
+                    continue;
+                }
+                let (latency, exit_cmd) = match rank_state {
+                    RankPowerState::PowerDown => (self.timing.t_xp, DramCommand::PowerDownExit),
+                    RankPowerState::SelfRefresh => (self.timing.t_xs, DramCommand::SelfRefreshExit),
                     _ => unreachable!(),
                 };
                 self.ranks[ri].wake_at = Some(now + latency);
+                self.record(now, ri as u32, 0, 0, 0, exit_cmd);
                 return true;
             }
             if self.refresh_due(ri, now) {
@@ -399,6 +433,7 @@ impl ChannelCtrl {
                             ri as u32,
                             (bidx - ri * self.banks_per_rank) as u32,
                             bg as u32,
+                            0,
                             DramCommand::Precharge,
                         );
                         self.ranks[ri].idle_since = now;
@@ -406,8 +441,7 @@ impl ChannelCtrl {
                     }
                 }
                 None => {
-                    if now >= self.banks[bidx].next_act
-                        && now >= self.ranks[ri].act_allowed_at(bg)
+                    if now >= self.banks[bidx].next_act && now >= self.ranks[ri].act_allowed_at(bg)
                     {
                         self.banks[bidx].on_activate(now, row, &self.timing);
                         self.ranks[ri].on_activate(now, bg, &self.timing);
@@ -423,6 +457,7 @@ impl ChannelCtrl {
                             ri as u32,
                             (bidx - ri * self.banks_per_rank) as u32,
                             bg as u32,
+                            row,
                             DramCommand::Activate,
                         );
                         self.queue[qi].phase = RequestPhase::NeedsColumn;
@@ -457,12 +492,14 @@ impl ChannelCtrl {
                     if let Some(srt) = self.policy.sr_timeout {
                         if idle >= srt {
                             self.ranks[ri].set_power(now, RankPowerState::SelfRefresh);
+                            self.record(now, ri as u32, 0, 0, 0, DramCommand::SelfRefreshEnter);
                             return true;
                         }
                     }
                     if let Some(pdt) = self.policy.pd_timeout {
                         if idle >= pdt {
                             self.ranks[ri].set_power(now, RankPowerState::PowerDown);
+                            self.record(now, ri as u32, 0, 0, 0, DramCommand::PowerDownEnter);
                             return true;
                         }
                     }
@@ -470,8 +507,10 @@ impl ChannelCtrl {
                 RankPowerState::PowerDown => {
                     if let Some(srt) = self.policy.sr_timeout {
                         if idle >= srt {
-                            // Promote PD -> SR (PDX+SRE modelled as direct).
+                            // Promote PD -> SR (PDX+SRE modelled as direct, so
+                            // only the SRE is logged).
                             self.ranks[ri].set_power(now, RankPowerState::SelfRefresh);
+                            self.record(now, ri as u32, 0, 0, 0, DramCommand::SelfRefreshEnter);
                             return true;
                         }
                     }
@@ -498,10 +537,7 @@ impl ChannelCtrl {
                 }
             }
             // Governor deadlines.
-            if rank.wake_at.is_none()
-                && rank.all_precharged()
-                && !self.queue_has_rank(ri)
-            {
+            if rank.wake_at.is_none() && rank.all_precharged() && !self.queue_has_rank(ri) {
                 let base = rank.idle_since;
                 match rank.power {
                     RankPowerState::PrechargeStandby => {
@@ -648,16 +684,25 @@ mod tests {
         // interleaved small config the local row bits sit above
         // offset+ch+bg+bank+col bits.
         let layout = mapper.bit_layout();
-        let row_shift =
-            layout.offset + layout.channel + layout.bank_group + layout.bank + layout.column
-                + layout.rank;
+        let row_shift = layout.offset
+            + layout.channel
+            + layout.bank_group
+            + layout.bank
+            + layout.column
+            + layout.rank;
         let a1 = 0u64;
         let a2 = 1u64 << row_shift;
         let c1 = mapper.decode(a1).unwrap();
         let c2 = mapper.decode(a2).unwrap();
         assert_eq!(c1.channel, c2.channel);
-        assert_eq!((c1.bank_group, c1.bank, c1.rank), (c2.bank_group, c2.bank, c2.rank));
-        assert_ne!(c1.full_row(cfg.org.rows_per_subarray), c2.full_row(cfg.org.rows_per_subarray));
+        assert_eq!(
+            (c1.bank_group, c1.bank, c1.rank),
+            (c2.bank_group, c2.bank, c2.rank)
+        );
+        assert_ne!(
+            c1.full_row(cfg.org.rows_per_subarray),
+            c2.full_row(cfg.org.rows_per_subarray)
+        );
         ch.enqueue(pend(&mapper, MemRequest::read(a1, 0)), 0);
         drain(&mut ch, 0);
         ch.enqueue(pend(&mapper, MemRequest::read(a2, 0)), 0);

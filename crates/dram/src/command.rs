@@ -1,13 +1,12 @@
 //! DRAM command vocabulary and per-command energy event tags.
 
 use gd_types::ids::DramCoord;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The DDR4 command set (the subset the simulator issues), plus the mode
 /// register write GreenDIMM uses to program the sub-array power-down bit
 /// vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DramCommand {
     /// Activate a row (copy it into the bank's row buffer).
     Activate,
@@ -70,7 +69,7 @@ impl fmt::Display for DramCommand {
 }
 
 /// A memory request presented to the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemRequest {
     /// Physical byte address (cache-line aligned by the controller).
     pub addr: u64,
@@ -81,7 +80,7 @@ pub struct MemRequest {
 }
 
 /// Read/write discriminator for [`MemRequest`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A demand read (latency-critical).
     Read,

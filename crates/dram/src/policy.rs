@@ -1,12 +1,10 @@
 //! Controller low-power policy knobs.
 
-use serde::{Deserialize, Serialize};
-
 /// Idle-timeout policy for rank low-power states, as implemented by
 /// commodity memory controllers: after `pd_timeout` idle cycles a rank
 /// enters power-down; after `sr_timeout` idle cycles it is promoted to
 /// self-refresh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LowPowerPolicy {
     /// Idle cycles before entering power-down. `None` disables power-down.
     pub pd_timeout: Option<u64>,

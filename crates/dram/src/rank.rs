@@ -2,12 +2,11 @@
 //! constraints.
 
 use gd_types::config::DramTiming;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The low-power states a DDR4 rank can occupy, as tracked for both
 /// scheduling (wake-up latencies) and the power model (per-state residency).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankPowerState {
     /// At least one bank has an open row; CKE high.
     ActiveStandby,
@@ -37,12 +36,15 @@ impl RankPowerState {
 
     /// True if the rank must be woken before serving a command.
     pub fn is_low_power(self) -> bool {
-        matches!(self, RankPowerState::PowerDown | RankPowerState::SelfRefresh)
+        matches!(
+            self,
+            RankPowerState::PowerDown | RankPowerState::SelfRefresh
+        )
     }
 }
 
 /// Cycles spent in each rank power state.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RankResidency {
     /// Cycles with a row open.
     pub active_standby: u64,
@@ -169,7 +171,8 @@ impl RankCtl {
 
     /// Finalizes residency accounting at the end of a run.
     pub fn finish(&mut self, now: u64) {
-        self.residency.add(self.power, now.saturating_sub(self.state_since));
+        self.residency
+            .add(self.power, now.saturating_sub(self.state_since));
         self.state_since = now;
     }
 
@@ -181,9 +184,7 @@ impl RankCtl {
         } else {
             0
         };
-        self.next_act_any
-            .max(self.next_act_bg[bank_group])
-            .max(faw)
+        self.next_act_any.max(self.next_act_bg[bank_group]).max(faw)
     }
 
     /// Records an ACT at `now` and updates tRRD/tFAW bookkeeping.

@@ -2,11 +2,10 @@
 
 use crate::rank::RankResidency;
 use gd_types::stats::Summary;
-use serde::{Deserialize, Serialize};
 
 /// Command and event counts plus residency, for one full run of the memory
 /// system. Everything the IDD power model needs to integrate energy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Total simulated memory-clock cycles.
     pub cycles: u64,

@@ -87,6 +87,23 @@ impl MemorySystem {
         out
     }
 
+    /// Drains the command logs and replays them through the full protocol
+    /// validator (JEDEC timing, rank power-state machine, and the GreenDIMM
+    /// sub-array-group safety checks). Returns every violation found.
+    ///
+    /// `neighbor_pairs` additionally forbids traffic to the sense-amp buddy
+    /// of a deep-powered-down group; enable it when the OS daemon runs with
+    /// the §6.1 neighbor constraint.
+    pub fn validate_command_log(
+        &mut self,
+        neighbor_pairs: bool,
+    ) -> Vec<crate::validate::TimingViolation> {
+        let log = self.take_command_log();
+        crate::validate::TimingChecker::for_config(&self.cfg)
+            .with_neighbor_pairs(neighbor_pairs)
+            .check(&log)
+    }
+
     /// Programs one bit of the deep power-down register.
     ///
     /// Entering deep power-down is immediate (an MRS broadcast); exiting
@@ -107,17 +124,19 @@ impl MemorySystem {
         if self.group_pd[g] == on {
             return Ok(()); // idempotent
         }
+        // Log the MRS write (channel 0 carries the broadcast register
+        // traffic) so the protocol validator can replay the bit vector.
+        self.channels[0].record_mrs(self.clock, g as u32, on);
         if on {
             self.group_pd_since[g] = self.clock;
         } else {
             self.group_pd_cycles[g] += self.clock - self.group_pd_since[g];
             // Model the 18 ns exit latency: the register write completes and
             // the ready bit flips after the exit interval.
-            let exit_cycles = gd_types::SimTime::from_secs_f64(
-                self.cfg.timing.deep_power_down_exit_ns * 1e-9,
-            )
-            .to_cycles(self.cfg.timing.clock_mhz)
-            .as_u64();
+            let exit_cycles =
+                gd_types::SimTime::from_secs_f64(self.cfg.timing.deep_power_down_exit_ns * 1e-9)
+                    .to_cycles(self.cfg.timing.clock_mhz)
+                    .as_u64();
             self.clock += exit_cycles;
         }
         self.group_pd[g] = on;
@@ -403,9 +422,7 @@ mod tests {
     #[test]
     fn writes_complete_too() {
         let mut s = sys(InterleaveMode::Interleaved, LowPowerPolicy::disabled());
-        let reqs: Vec<_> = (0..128)
-            .map(|i| MemRequest::write(i * 64, i))
-            .collect();
+        let reqs: Vec<_> = (0..128).map(|i| MemRequest::write(i * 64, i)).collect();
         let stats = s.run_trace(reqs).unwrap();
         assert_eq!(stats.writes, 128);
     }

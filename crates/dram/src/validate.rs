@@ -1,19 +1,36 @@
-//! Command-log recording and independent timing validation.
+//! Command-log recording and independent protocol validation.
 //!
 //! The controller can record every command it issues; the [`TimingChecker`]
 //! then replays the log against the JEDEC constraints *independently* of
 //! the scheduler's own bookkeeping. Any scheduler bug that issues a command
 //! early surfaces as a [`TimingViolation`] instead of silently producing
 //! optimistic latencies.
+//!
+//! Beyond the classic bank/rank timing constraints, the checker runs a
+//! per-rank power-state machine over the PDE/PDX/SRE/SRX records the
+//! controller's low-power governor emits:
+//!
+//! * commands issued while the rank is in power-down or self-refresh,
+//! * missing tXP / tXS recovery gaps after a PDX / SRX,
+//! * tCKE minimum residency between a power-down entry and its exit,
+//! * REF issued while the rank is refreshing itself,
+//! * entries with open banks, exits without a matching entry.
+//!
+//! It also validates GreenDIMM's safety properties against the MRS records
+//! that program the sub-array-group deep power-down bit vector: traffic
+//! (ACT/RD/WR) must never touch a group whose deep-PD bit is set, and —
+//! when the neighbor constraint is enabled — must not touch the sense-amp
+//! buddy of a powered-down group either (§6.1 of the paper: a group in
+//! deep power-down loses the sense amplifiers it shares with its
+//! neighbor).
 
 use crate::command::DramCommand;
-use gd_types::config::DramTiming;
-use serde::{Deserialize, Serialize};
+use gd_types::config::{DramConfig, DramTiming};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// One logged command issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommandRecord {
     /// Issue cycle.
     pub cycle: u64,
@@ -22,22 +39,30 @@ pub struct CommandRecord {
     /// Rank index within the channel.
     pub rank: u32,
     /// Flat bank index within the rank (bank group × banks + bank), or 0
-    /// for rank-level commands.
+    /// for rank-level commands. For [`DramCommand::ModeRegisterSet`]
+    /// records this carries the deep power-down bit being written (1 =
+    /// enter deep-PD, 0 = exit).
     pub bank: u32,
     /// Bank group index (for tRRD_L/tCCD_L checks).
     pub bank_group: u32,
+    /// Full row index within the bank (sub-array × rows-per-sub-array +
+    /// row) for ACT/RD/WR; 0 for other bank/rank commands. For
+    /// [`DramCommand::ModeRegisterSet`] records this carries the sub-array
+    /// group index being programmed.
+    pub row: u32,
     /// The command.
     pub command: DramCommand,
 }
 
-/// A detected timing violation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A detected protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimingViolation {
     /// The offending record.
     pub record: CommandRecord,
     /// Which constraint was violated.
     pub constraint: &'static str,
-    /// Earliest legal cycle.
+    /// Earliest legal cycle (equals the record's own cycle for state
+    /// violations that no amount of waiting would fix).
     pub earliest_legal: u64,
 }
 
@@ -66,28 +91,74 @@ struct BankTrack {
     open: bool,
 }
 
+/// Power state of a rank as reconstructed from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum PowerState {
+    /// CKE high: active or precharge standby.
+    #[default]
+    Awake,
+    /// Precharge power-down (CKE low).
+    PowerDown,
+    /// Self-refresh.
+    SelfRefresh,
+}
+
 #[derive(Debug, Clone, Default)]
 struct RankTrack {
     acts: VecDeque<u64>,
     last_act_any: Option<u64>,
     last_act_bg: Vec<Option<u64>>,
     last_ref: Option<u64>,
+    power: PowerState,
+    /// Cycle of the entry command for the current low-power state.
+    pde_cycle: Option<u64>,
+    sre_cycle: Option<u64>,
+    /// Cycle of the most recent exits (tXP / tXS recovery gates).
+    last_pdx: Option<u64>,
+    last_srx: Option<u64>,
 }
 
-/// Replays a command log and reports every timing violation.
+/// Replays a command log and reports every timing or state violation.
 #[derive(Debug)]
 pub struct TimingChecker {
     timing: DramTiming,
     banks_per_rank: u32,
+    /// Rows per sub-array; 0 disables the GreenDIMM sub-array-group checks
+    /// (the group of an ACT/RD/WR is `row / rows_per_subarray`).
+    rows_per_subarray: u32,
+    /// When set, traffic to the sense-amp buddy (`group ^ 1`) of a
+    /// deep-powered-down group is also a violation.
+    neighbor_pairs: bool,
 }
 
 impl TimingChecker {
-    /// Creates a checker.
+    /// Creates a checker with the GreenDIMM group checks disabled (pure
+    /// JEDEC timing plus the rank power-state machine).
     pub fn new(timing: DramTiming, bank_groups: u32, banks_per_group: u32) -> Self {
         TimingChecker {
             timing,
             banks_per_rank: bank_groups * banks_per_group,
+            rows_per_subarray: 0,
+            neighbor_pairs: false,
         }
+    }
+
+    /// Creates a checker for a full configuration, enabling the GreenDIMM
+    /// sub-array-group safety checks.
+    pub fn for_config(cfg: &DramConfig) -> Self {
+        TimingChecker {
+            timing: cfg.timing,
+            banks_per_rank: cfg.org.bank_groups * cfg.org.banks_per_group,
+            rows_per_subarray: cfg.org.rows_per_subarray,
+            neighbor_pairs: false,
+        }
+    }
+
+    /// Also flags traffic to the sense-amp buddy of a deep-powered-down
+    /// group (the paper's §6.1 neighbor constraint).
+    pub fn with_neighbor_pairs(mut self, enabled: bool) -> Self {
+        self.neighbor_pairs = enabled;
+        self
     }
 
     /// Checks a log (commands of one channel must appear in cycle order).
@@ -99,8 +170,10 @@ impl TimingChecker {
             std::collections::HashMap::new();
         let mut ranks: std::collections::HashMap<(u32, u32), RankTrack> =
             std::collections::HashMap::new();
-        let mut last_cycle: std::collections::HashMap<u32, u64> =
-            std::collections::HashMap::new();
+        let mut last_cycle: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        // Deep power-down bit per sub-array group, reconstructed from the
+        // MRS records (group index is global: sub-array `g` of every bank).
+        let mut deep_pd: Vec<bool> = Vec::new();
 
         for rec in log {
             if let Some(prev) = last_cycle.get(&rec.channel) {
@@ -132,10 +205,129 @@ impl TimingChecker {
                     earliest_legal: prev + min_gap,
                 })
             }
+            fn state_violation(rec: &CommandRecord, constraint: &'static str) -> TimingViolation {
+                TimingViolation {
+                    record: *rec,
+                    constraint,
+                    earliest_legal: rec.cycle,
+                }
+            }
             let check = |cond: Option<u64>, constraint: &'static str, min_gap: u64| {
                 gap_violation(rec, cond, constraint, min_gap)
             };
             let mut pending: Vec<TimingViolation> = Vec::new();
+
+            // --- Rank power-state machine (MRS is a sideband register
+            // write through the SPD bus and is exempt, §4.3). ---
+            match rec.command {
+                DramCommand::ModeRegisterSet => {}
+                DramCommand::PowerDownExit => {
+                    if rank.power == PowerState::PowerDown {
+                        pending.extend(check(rank.pde_cycle, "tCKE", t.t_cke));
+                    } else {
+                        pending.push(state_violation(rec, "PDX without PDE"));
+                    }
+                    rank.power = PowerState::Awake;
+                    rank.last_pdx = Some(rec.cycle);
+                    rank.pde_cycle = None;
+                }
+                DramCommand::SelfRefreshExit => {
+                    if rank.power == PowerState::SelfRefresh {
+                        pending.extend(check(rank.sre_cycle, "tCKE", t.t_cke));
+                    } else {
+                        pending.push(state_violation(rec, "SRX without SRE"));
+                    }
+                    rank.power = PowerState::Awake;
+                    rank.last_srx = Some(rec.cycle);
+                    rank.sre_cycle = None;
+                }
+                DramCommand::PowerDownEnter => {
+                    match rank.power {
+                        PowerState::Awake => {
+                            pending.extend(check(rank.last_pdx, "tXP", t.t_xp));
+                            pending.extend(check(rank.last_srx, "tXS", t.t_xs));
+                            if self.any_bank_open(&banks, rec.channel, rec.rank) {
+                                pending.push(state_violation(rec, "PDE with open bank"));
+                            }
+                        }
+                        PowerState::PowerDown => {
+                            pending.push(state_violation(rec, "redundant PDE"));
+                        }
+                        PowerState::SelfRefresh => {
+                            pending.push(state_violation(rec, "PDE in self-refresh"));
+                        }
+                    }
+                    rank.power = PowerState::PowerDown;
+                    rank.pde_cycle = Some(rec.cycle);
+                }
+                DramCommand::SelfRefreshEnter => {
+                    match rank.power {
+                        PowerState::Awake => {
+                            pending.extend(check(rank.last_pdx, "tXP", t.t_xp));
+                            pending.extend(check(rank.last_srx, "tXS", t.t_xs));
+                            if self.any_bank_open(&banks, rec.channel, rec.rank) {
+                                pending.push(state_violation(rec, "SRE with open bank"));
+                            }
+                        }
+                        // Power-down → self-refresh promotion is legal: the
+                        // governor deepens an already-gated rank without an
+                        // intervening PDX.
+                        PowerState::PowerDown => {}
+                        PowerState::SelfRefresh => {
+                            pending.push(state_violation(rec, "redundant SRE"));
+                        }
+                    }
+                    rank.power = PowerState::SelfRefresh;
+                    rank.sre_cycle = Some(rec.cycle);
+                    rank.pde_cycle = None;
+                }
+                _ => match rank.power {
+                    PowerState::PowerDown => {
+                        pending.push(state_violation(rec, "command in power-down"));
+                    }
+                    PowerState::SelfRefresh => {
+                        pending.push(state_violation(
+                            rec,
+                            if rec.command == DramCommand::Refresh {
+                                "REF during self-refresh"
+                            } else {
+                                "command in self-refresh"
+                            },
+                        ));
+                    }
+                    PowerState::Awake => {
+                        pending.extend(check(rank.last_pdx, "tXP", t.t_xp));
+                        pending.extend(check(rank.last_srx, "tXS", t.t_xs));
+                    }
+                },
+            }
+
+            // --- GreenDIMM sub-array-group safety (deep-PD bit vector). ---
+            // `rows_per_subarray == 0` (geometry unknown) disables these
+            // checks: `checked_div` folds that gate into the division.
+            match rec.command {
+                DramCommand::ModeRegisterSet if self.rows_per_subarray > 0 => {
+                    let g = rec.row as usize;
+                    if deep_pd.len() <= g {
+                        deep_pd.resize(g + 1, false);
+                    }
+                    deep_pd[g] = rec.bank != 0;
+                }
+                DramCommand::Activate | DramCommand::Read | DramCommand::Write => {
+                    if let Some(g) = rec.row.checked_div(self.rows_per_subarray) {
+                        let g = g as usize;
+                        if deep_pd.get(g).copied().unwrap_or(false) {
+                            pending.push(state_violation(rec, "deep power-down group traffic"));
+                        }
+                        if self.neighbor_pairs && deep_pd.get(g ^ 1).copied().unwrap_or(false) {
+                            pending.push(state_violation(rec, "neighbor sense-amp pair"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+
+            // --- Bank/rank timing constraints. ---
             match rec.command {
                 DramCommand::Activate => {
                     let bank = banks.entry(bank_key).or_default();
@@ -208,6 +400,15 @@ impl TimingChecker {
                     bank.last_pre = Some(rec.cycle);
                     bank.open = false;
                 }
+                DramCommand::PrechargeAll => {
+                    for b in 0..self.banks_per_rank {
+                        let bank = banks.entry((rec.channel, rec.rank, b)).or_default();
+                        if bank.open {
+                            bank.last_pre = Some(rec.cycle);
+                            bank.open = false;
+                        }
+                    }
+                }
                 DramCommand::Refresh => {
                     // All banks of the rank must be precharged.
                     for b in 0..self.banks_per_rank {
@@ -232,6 +433,20 @@ impl TimingChecker {
         }
         violations
     }
+
+    fn any_bank_open(
+        &self,
+        banks: &std::collections::HashMap<(u32, u32, u32), BankTrack>,
+        channel: u32,
+        rank: u32,
+    ) -> bool {
+        (0..self.banks_per_rank).any(|b| {
+            banks
+                .get(&(channel, rank, b))
+                .map(|bk| bk.open)
+                .unwrap_or(false)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +464,39 @@ mod tests {
             rank: 0,
             bank,
             bank_group: bg,
+            row: 0,
             command,
+        }
+    }
+
+    /// A rank-level power record.
+    fn prec(cycle: u64, command: DramCommand) -> CommandRecord {
+        rec(cycle, 0, 0, command)
+    }
+
+    /// An MRS record programming group `g`'s deep-PD bit.
+    fn mrs(cycle: u64, group: u32, down: bool) -> CommandRecord {
+        CommandRecord {
+            cycle,
+            channel: 0,
+            rank: 0,
+            bank: u32::from(down),
+            bank_group: 0,
+            row: group,
+            command: DramCommand::ModeRegisterSet,
+        }
+    }
+
+    /// An ACT targeting a specific full row.
+    fn act_row(cycle: u64, row: u32) -> CommandRecord {
+        CommandRecord {
+            cycle,
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            bank_group: 0,
+            row,
+            command: DramCommand::Activate,
         }
     }
 
@@ -294,7 +541,12 @@ mod tests {
         // Five ACTs spaced by exactly tRRD_L in distinct bank groups of two
         // alternating groups — the 5th lands inside the tFAW window.
         for i in 0..5u64 {
-            log.push(rec(i * t.t_rrd_l, i as u32 % 4, (i % 4) as u32, DramCommand::Activate));
+            log.push(rec(
+                i * t.t_rrd_l,
+                i as u32 % 4,
+                (i % 4) as u32,
+                DramCommand::Activate,
+            ));
         }
         let v = checker().check(&log);
         assert!(
@@ -329,5 +581,200 @@ mod tests {
         ];
         let v = checker().check(&log);
         assert!(v.iter().any(|x| x.constraint.starts_with("log order")));
+    }
+
+    // --- Power-state machine ---
+
+    #[test]
+    fn legal_power_down_cycle_passes() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            prec(0, DramCommand::PowerDownEnter),
+            prec(t.t_cke, DramCommand::PowerDownExit),
+            prec(t.t_cke + t.t_xp, DramCommand::Activate),
+        ];
+        let v = checker().check(&log);
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn command_in_power_down_detected() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            prec(0, DramCommand::PowerDownEnter),
+            prec(t.t_cke, DramCommand::Activate),
+        ];
+        let v = checker().check(&log);
+        assert!(
+            v.iter().any(|x| x.constraint == "command in power-down"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn command_in_self_refresh_detected() {
+        let log = vec![
+            prec(0, DramCommand::SelfRefreshEnter),
+            prec(100, DramCommand::Activate),
+        ];
+        let v = checker().check(&log);
+        assert!(
+            v.iter().any(|x| x.constraint == "command in self-refresh"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_txp_after_pdx_detected() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            prec(0, DramCommand::PowerDownEnter),
+            prec(t.t_cke, DramCommand::PowerDownExit),
+            prec(t.t_cke + t.t_xp - 1, DramCommand::Activate),
+        ];
+        let v = checker().check(&log);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].constraint, "tXP");
+        assert_eq!(v[0].earliest_legal, t.t_cke + t.t_xp);
+    }
+
+    #[test]
+    fn missing_txs_after_srx_detected() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            prec(0, DramCommand::SelfRefreshEnter),
+            prec(t.t_cke, DramCommand::SelfRefreshExit),
+            prec(t.t_cke + t.t_xs - 1, DramCommand::Refresh),
+        ];
+        let v = checker().check(&log);
+        assert!(v.iter().any(|x| x.constraint == "tXS"), "{v:?}");
+        // The legal variant passes.
+        let ok = vec![
+            prec(0, DramCommand::SelfRefreshEnter),
+            prec(t.t_cke, DramCommand::SelfRefreshExit),
+            prec(t.t_cke + t.t_xs, DramCommand::Refresh),
+        ];
+        assert!(checker().check(&ok).is_empty());
+    }
+
+    #[test]
+    fn early_pdx_violates_tcke() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            prec(0, DramCommand::PowerDownEnter),
+            prec(t.t_cke - 1, DramCommand::PowerDownExit),
+        ];
+        let v = checker().check(&log);
+        assert!(v.iter().any(|x| x.constraint == "tCKE"), "{v:?}");
+    }
+
+    #[test]
+    fn refresh_during_self_refresh_detected() {
+        let log = vec![
+            prec(0, DramCommand::SelfRefreshEnter),
+            prec(1000, DramCommand::Refresh),
+        ];
+        let v = checker().check(&log);
+        assert!(
+            v.iter().any(|x| x.constraint == "REF during self-refresh"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn pde_with_open_bank_detected() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            rec(0, 1, 0, DramCommand::Activate),
+            prec(t.t_ras, DramCommand::PowerDownEnter),
+        ];
+        let v = checker().check(&log);
+        assert!(
+            v.iter().any(|x| x.constraint == "PDE with open bank"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn exits_without_entries_detected() {
+        let v = checker().check(&[prec(5, DramCommand::PowerDownExit)]);
+        assert!(v.iter().any(|x| x.constraint == "PDX without PDE"), "{v:?}");
+        let v = checker().check(&[prec(5, DramCommand::SelfRefreshExit)]);
+        assert!(v.iter().any(|x| x.constraint == "SRX without SRE"), "{v:?}");
+    }
+
+    #[test]
+    fn power_down_to_self_refresh_promotion_is_legal() {
+        let t = DramTiming::ddr4_2133_4gb();
+        let log = vec![
+            prec(0, DramCommand::PowerDownEnter),
+            prec(500, DramCommand::SelfRefreshEnter),
+            prec(500 + t.t_cke, DramCommand::SelfRefreshExit),
+            prec(500 + t.t_cke + t.t_xs, DramCommand::Activate),
+        ];
+        let v = checker().check(&log);
+        assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn redundant_entries_detected() {
+        let v = checker().check(&[
+            prec(0, DramCommand::PowerDownEnter),
+            prec(100, DramCommand::PowerDownEnter),
+        ]);
+        assert!(v.iter().any(|x| x.constraint == "redundant PDE"), "{v:?}");
+        let v = checker().check(&[
+            prec(0, DramCommand::SelfRefreshEnter),
+            prec(100, DramCommand::SelfRefreshEnter),
+        ]);
+        assert!(v.iter().any(|x| x.constraint == "redundant SRE"), "{v:?}");
+    }
+
+    // --- GreenDIMM sub-array-group safety ---
+
+    fn gd_checker() -> TimingChecker {
+        TimingChecker::for_config(&DramConfig::small_test())
+    }
+
+    #[test]
+    fn traffic_to_deep_pd_group_detected() {
+        let rps = DramConfig::small_test().org.rows_per_subarray;
+        let log = vec![mrs(0, 1, true), act_row(100, rps + 3)];
+        let v = gd_checker().check(&log);
+        assert!(
+            v.iter()
+                .any(|x| x.constraint == "deep power-down group traffic"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn traffic_after_deep_pd_exit_is_legal() {
+        let rps = DramConfig::small_test().org.rows_per_subarray;
+        let log = vec![mrs(0, 1, true), mrs(50, 1, false), act_row(100, rps + 3)];
+        assert!(gd_checker().check(&log).is_empty());
+    }
+
+    #[test]
+    fn neighbor_pair_traffic_detected_only_when_enabled() {
+        // Group 1 is down; traffic to its sense-amp buddy group 0.
+        let log = vec![mrs(0, 1, true), act_row(100, 2)];
+        let strictv = gd_checker().with_neighbor_pairs(true).check(&log);
+        assert!(
+            strictv
+                .iter()
+                .any(|x| x.constraint == "neighbor sense-amp pair"),
+            "{strictv:?}"
+        );
+        // Without the constraint, buddy traffic is allowed.
+        assert!(gd_checker().check(&log).is_empty());
+    }
+
+    #[test]
+    fn group_checks_disabled_without_geometry() {
+        // `new()` has no sub-array geometry: MRS records are inert.
+        let rps = DramConfig::small_test().org.rows_per_subarray;
+        let log = vec![mrs(0, 1, true), act_row(100, rps + 3)];
+        assert!(checker().check(&log).is_empty());
     }
 }

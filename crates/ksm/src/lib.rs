@@ -41,7 +41,6 @@
 
 use gd_mmsim::{AllocationId, MemoryManager};
 use gd_types::{GdError, Result, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -50,7 +49,7 @@ use std::fmt;
 pub type ContentKey = u64;
 
 /// Handle for a registered mergeable region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub u64);
 
 impl fmt::Display for RegionId {
@@ -60,7 +59,7 @@ impl fmt::Display for RegionId {
 }
 
 /// `ksmd` tuning parameters (sysfs `pages_to_scan` / `sleep_millisecs`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KsmConfig {
     /// Pages scanned per wake-up. Paper uses 1000.
     pub pages_to_scan: u64,
@@ -82,7 +81,7 @@ impl Default for KsmConfig {
 }
 
 /// Aggregate merge statistics (sysfs `pages_shared` / `pages_sharing`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KsmStats {
     /// Distinct shared (stable-tree) pages.
     pub pages_shared: u64,
@@ -99,6 +98,10 @@ pub struct KsmStats {
 #[derive(Debug, Clone)]
 struct Region {
     owner: AllocationId,
+    /// Pages registered at `madvise` time. Merging changes which frames
+    /// back them, never this count: at all times
+    /// `pending + merged + originals + unique_pages == logical_pages`.
+    logical_pages: u64,
     /// Shareable content: key -> unmerged page count.
     pending: BTreeMap<ContentKey, u64>,
     /// Already merged content: key -> merged (duplicate, frame-released)
@@ -117,6 +120,24 @@ impl Region {
     fn scannable_pages(&self) -> u64 {
         self.pending.values().sum::<u64>() + self.unique_pages
     }
+}
+
+/// A read-only view of one region's page accounting, exposed for the
+/// cross-crate invariant checker in `gd-verify`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionAccounting {
+    /// The region.
+    pub region: RegionId,
+    /// Pages registered at `madvise` time.
+    pub logical_pages: u64,
+    /// Shareable pages not yet scanned/merged.
+    pub pending: u64,
+    /// Merged duplicates (frames released).
+    pub merged: u64,
+    /// Stable-tree originals this region keeps resident.
+    pub originals: u64,
+    /// Volatile pages that never merge.
+    pub unique_pages: u64,
 }
 
 /// The KSM daemon state: stable and unstable trees plus registered regions.
@@ -181,10 +202,12 @@ impl Ksm {
                 *pending.entry(k).or_insert(0) += n;
             }
         }
+        let logical_pages = pending.values().sum::<u64>() + unique_pages;
         self.regions.insert(
             id,
             Region {
                 owner,
+                logical_pages,
                 pending,
                 merged: BTreeMap::new(),
                 originals: BTreeMap::new(),
@@ -236,6 +259,33 @@ impl Ksm {
         self.regions.len()
     }
 
+    /// Per-region page accounting (for cross-crate invariant checks).
+    pub fn region_accounting(&self) -> Vec<RegionAccounting> {
+        self.regions
+            .iter()
+            .map(|(id, r)| RegionAccounting {
+                region: *id,
+                logical_pages: r.logical_pages,
+                pending: r.pending.values().sum(),
+                merged: r.merged.values().sum(),
+                originals: r.originals.values().sum(),
+                unique_pages: r.unique_pages,
+            })
+            .collect()
+    }
+
+    /// Number of distinct contents in the stable tree (each backed by one
+    /// resident shared frame).
+    pub fn stable_contents(&self) -> usize {
+        self.stable.len()
+    }
+
+    /// Total sharing count over the stable tree (originals plus merged
+    /// duplicates).
+    pub fn stable_sharing_total(&self) -> u64 {
+        self.stable.values().sum()
+    }
+
     /// Pages released so far (frames saved by merging).
     pub fn frames_released(&self) -> u64 {
         self.stats.pages_sharing
@@ -254,8 +304,8 @@ impl Ksm {
         let batches = elapsed.as_secs_f64() / self.cfg.scan_period.as_secs_f64();
         let mut budget =
             (batches * self.cfg.pages_to_scan as f64 + self.carry_pages).floor() as u64;
-        self.carry_pages = (batches * self.cfg.pages_to_scan as f64 + self.carry_pages)
-            - budget as f64;
+        self.carry_pages =
+            (batches * self.cfg.pages_to_scan as f64 + self.carry_pages) - budget as f64;
         let mut released_total = 0u64;
         let mut idle_guard = 0u32;
         while budget > 0 {
@@ -274,7 +324,7 @@ impl Ksm {
             released_total += released;
             budget = budget.saturating_sub(scanned.max(1));
             self.region_cursor += 1;
-            if self.region_cursor as usize % self.regions.len().max(1) == 0 {
+            if (self.region_cursor as usize).is_multiple_of(self.regions.len().max(1)) {
                 // Completed a full pass over all regions: reset the
                 // unstable tree, as ksmd does.
                 self.unstable.clear();
@@ -416,7 +466,13 @@ impl Ksm {
             }
             *sharing += n;
             self.stats.pages_sharing += n;
-            *self.regions.get_mut(&rid).unwrap().merged.entry(k).or_insert(0) += n;
+            *self
+                .regions
+                .get_mut(&rid)
+                .unwrap()
+                .merged
+                .entry(k)
+                .or_insert(0) += n;
             // Release the duplicate frames.
             let freed = mm.shrink(owner, n)?;
             released += freed;
@@ -529,7 +585,10 @@ mod tests {
         // 100 ms at 1000 pages / 50 ms = 2000 pages of scan budget.
         let released = ksm.advance(SimTime::from_millis(100), &mut mm).unwrap();
         assert!(released <= 2000, "released {released} > scan budget");
-        assert!(released >= 1000, "released {released}, budget mostly usable");
+        assert!(
+            released >= 1000,
+            "released {released}, budget mostly usable"
+        );
         // The rest merges given more time.
         ksm.advance(SimTime::from_secs(10), &mut mm).unwrap();
         assert_eq!(mm.pages_of(a), 1);

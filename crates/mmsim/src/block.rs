@@ -2,11 +2,10 @@
 
 use crate::buddy::BuddyAllocator;
 use crate::frame::{AllocationId, PageKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One allocated buddy chunk inside a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Chunk {
     /// Owning allocation.
     pub owner: AllocationId,
@@ -19,7 +18,7 @@ pub struct Chunk {
 /// A contiguous, block-aligned range of physical memory that the kernel can
 /// on/off-line as a unit (default 128 MB in Linux; GreenDIMM sizes it to one
 /// or more sub-array groups).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryBlock {
     index: usize,
     pages: u32,
@@ -32,7 +31,7 @@ pub struct MemoryBlock {
 }
 
 /// A read-only snapshot of a block's state, as exposed through sysfs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockInfo {
     /// Block index.
     pub index: usize,
@@ -142,7 +141,14 @@ impl MemoryBlock {
         debug_assert!(self.online);
         let chunks = self.buddy.alloc_pages(pages);
         for (off, order) in &chunks {
-            self.chunks.insert(*off, Chunk { owner, kind, order: *order });
+            self.chunks.insert(
+                *off,
+                Chunk {
+                    owner,
+                    kind,
+                    order: *order,
+                },
+            );
             let n = 1u64 << order;
             match kind {
                 PageKind::UserMovable => self.movable_pages += n,
@@ -190,6 +196,65 @@ impl MemoryBlock {
         self.chunks.insert(offset, half);
         self.chunks.insert(upper, half);
         (offset, upper)
+    }
+
+    /// Verifies the block's books: the buddy structure is sound, allocated
+    /// chunks are aligned, in range, and non-overlapping, the per-kind
+    /// counters match the chunk map, and used + free == total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn audit(&self) -> std::result::Result<(), String> {
+        self.buddy
+            .audit()
+            .map_err(|e| format!("block {}: {e}", self.index))?;
+        let mut movable = 0u64;
+        let mut unmovable = 0u64;
+        let mut pinned = 0u64;
+        let mut alloc_pages = 0u64;
+        let mut prev_end = 0u32;
+        for (&off, chunk) in &self.chunks {
+            let len = 1u32 << chunk.order;
+            if off % len != 0 || off + len > self.pages {
+                return Err(format!(
+                    "block {}: chunk at {off} order {} out of bounds",
+                    self.index, chunk.order
+                ));
+            }
+            if off < prev_end {
+                return Err(format!(
+                    "block {}: allocated chunks overlap at offset {off}",
+                    self.index
+                ));
+            }
+            prev_end = off + len;
+            alloc_pages += u64::from(len);
+            match chunk.kind {
+                PageKind::UserMovable => movable += u64::from(len),
+                PageKind::KernelUnmovable => unmovable += u64::from(len),
+                PageKind::Pinned => pinned += u64::from(len),
+            }
+        }
+        if (movable, unmovable, pinned)
+            != (self.movable_pages, self.unmovable_pages, self.pinned_pages)
+        {
+            return Err(format!(
+                "block {}: kind counters (movable {}, unmovable {}, pinned {}) \
+                 disagree with chunks (movable {movable}, unmovable {unmovable}, \
+                 pinned {pinned})",
+                self.index, self.movable_pages, self.unmovable_pages, self.pinned_pages
+            ));
+        }
+        if alloc_pages + self.free_pages() != self.total_pages() {
+            return Err(format!(
+                "block {}: {alloc_pages} allocated + {} free != {} total",
+                self.index,
+                self.free_pages(),
+                self.total_pages()
+            ));
+        }
+        Ok(())
     }
 
     /// Offsets of all chunks currently in the block (ascending).

@@ -4,7 +4,6 @@
 //! granularity GreenDIMM interacts with: chunks of `2^order` pages,
 //! split/coalesce on alloc/free, first-fit by order.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Maximum buddy order (2^10 pages = 4 MB with 4 KB pages), matching Linux's
@@ -12,7 +11,7 @@ use std::collections::BTreeSet;
 pub const MAX_ORDER: u8 = 10;
 
 /// A buddy allocator managing `total_pages` pages (offsets are block-local).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BuddyAllocator {
     total_pages: u32,
     /// Free chunk offsets per order.
@@ -115,7 +114,54 @@ impl BuddyAllocator {
 
     /// The largest order that can currently be allocated.
     pub fn max_free_order(&self) -> Option<u8> {
-        (0..=MAX_ORDER).rev().find(|o| !self.free_lists[*o as usize].is_empty())
+        (0..=MAX_ORDER)
+            .rev()
+            .find(|o| !self.free_lists[*o as usize].is_empty())
+    }
+
+    /// Verifies the allocator's internal structure: every free chunk is
+    /// aligned to its order, lies in range, overlaps no other free chunk,
+    /// and the free lists sum to the free-page counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn audit(&self) -> std::result::Result<(), String> {
+        let mut covered: Vec<(u32, u32)> = Vec::new();
+        let mut listed = 0u64;
+        for (o, list) in self.free_lists.iter().enumerate() {
+            let len = 1u32 << o;
+            for &off in list {
+                if off % len != 0 {
+                    return Err(format!("free chunk {off} misaligned for order {o}"));
+                }
+                if off + len > self.total_pages {
+                    return Err(format!(
+                        "free chunk [{off}, {}) beyond {} pages",
+                        off + len,
+                        self.total_pages
+                    ));
+                }
+                covered.push((off, off + len));
+                listed += u64::from(len);
+            }
+        }
+        covered.sort_unstable();
+        for w in covered.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err(format!(
+                    "free chunks overlap: [{}, {}) and [{}, {})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        if listed != u64::from(self.free_pages) {
+            return Err(format!(
+                "free lists hold {listed} pages but the counter says {}",
+                self.free_pages
+            ));
+        }
+        Ok(())
     }
 
     /// Allocates up to `pages` pages as a list of `(offset, order)` chunks,
@@ -186,7 +232,7 @@ mod tests {
         let x = b.alloc(2).unwrap();
         let y = b.alloc(2).unwrap();
         assert_ne!(x, y);
-        assert!(x % 4 == 0 && y % 4 == 0);
+        assert!(x.is_multiple_of(4) && y.is_multiple_of(4));
     }
 
     #[test]

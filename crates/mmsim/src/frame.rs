@@ -2,7 +2,6 @@
 //! outcome types.
 
 use gd_types::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Base page size (4 KB), as on the paper's x86 server.
@@ -10,9 +9,7 @@ pub const PAGE_BYTES: u64 = 4096;
 
 /// A handle identifying one logical allocation (a process heap region, a
 /// VM's guest memory, a kernel object pool, ...).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AllocationId(pub u64);
 
 impl fmt::Display for AllocationId {
@@ -23,7 +20,7 @@ impl fmt::Display for AllocationId {
 
 /// What kind of pages an allocation holds, which determines whether its
 /// memory block can be off-lined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PageKind {
     /// User/anonymous pages that the kernel can migrate.
     UserMovable,
@@ -42,7 +39,7 @@ impl PageKind {
 
 /// Why a memory-block off-lining attempt failed, mirroring the kernel's
 /// errno values (§5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OfflineErrno {
     /// Isolation failed: the block holds unmovable or pinned pages.
     Busy,
@@ -52,7 +49,7 @@ pub enum OfflineErrno {
 }
 
 /// The result of a successful off-lining.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfflineReport {
     /// Wall-clock cost of the operation.
     pub latency: SimTime,
@@ -63,7 +60,7 @@ pub struct OfflineReport {
 
 /// The result of a failed off-lining, including the time wasted — EAGAIN
 /// failures cost ~3× a successful off-lining (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfflineFailure {
     /// Which errno the kernel returned.
     pub errno: OfflineErrno,

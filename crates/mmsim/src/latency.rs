@@ -2,10 +2,9 @@
 //! measurements on a real kernel while running `mcf` with 128 MB blocks.
 
 use gd_types::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Latencies of memory on/off-lining operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HotplugLatencies {
     /// Successful off-lining of an entirely-free block (no migration).
     pub offline_success: SimTime,

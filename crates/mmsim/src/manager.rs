@@ -7,16 +7,13 @@ use crate::frame::{
     AllocationId, OfflineErrno, OfflineFailure, OfflineReport, PageKind, PAGE_BYTES,
 };
 use crate::latency::HotplugLatencies;
-use gd_types::rng::component_rng;
+use gd_types::rng::{component_rng, StdRng};
 use gd_types::stats::Summary;
 use gd_types::{GdError, Result, SimTime};
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration of the simulated physical memory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MmConfig {
     /// Installed capacity in bytes.
     pub capacity_bytes: u64,
@@ -91,7 +88,7 @@ impl MmConfig {
 
 /// A `/proc/meminfo`-style snapshot (only on-line memory is visible to the
 /// kernel's allocator, exactly as with real memory hotplug).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemInfo {
     /// Pages currently on-line.
     pub total_pages: u64,
@@ -127,7 +124,7 @@ impl MemInfo {
 }
 
 /// Aggregate hotplug statistics (drives Table 3 and Fig. 8).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HotplugStats {
     /// Successful off-linings.
     pub offline_success: u64,
@@ -190,14 +187,16 @@ impl MemoryManager {
     /// Returns [`GdError::InvalidConfig`] if capacity is not block-aligned
     /// or a block is not a whole number of max-order buddy chunks.
     pub fn new(cfg: MmConfig) -> Result<Self> {
-        if cfg.block_bytes == 0 || cfg.capacity_bytes % cfg.block_bytes != 0 {
+        if cfg.block_bytes == 0 || !cfg.capacity_bytes.is_multiple_of(cfg.block_bytes) {
             return Err(GdError::InvalidConfig(format!(
                 "capacity {} not a multiple of block size {}",
                 cfg.capacity_bytes, cfg.block_bytes
             )));
         }
         let block_pages = cfg.block_bytes / PAGE_BYTES;
-        if block_pages == 0 || block_pages % (1 << MAX_ORDER) != 0 || block_pages > u32::MAX as u64
+        if block_pages == 0
+            || !block_pages.is_multiple_of(1 << MAX_ORDER)
+            || block_pages > u32::MAX as u64
         {
             return Err(GdError::InvalidConfig(format!(
                 "block of {block_pages} pages is not buddy-alignable"
@@ -318,10 +317,7 @@ impl MemoryManager {
         }
         let id = AllocationId(self.next_id);
         let eligible = self.eligible_blocks(kind);
-        let free_total: u64 = eligible
-            .iter()
-            .map(|i| self.blocks[*i].free_pages())
-            .sum();
+        let free_total: u64 = eligible.iter().map(|i| self.blocks[*i].free_pages()).sum();
         if free_total < pages {
             return Err(GdError::OutOfMemory {
                 requested_pages: pages,
@@ -421,10 +417,7 @@ impl MemoryManager {
             .ok_or_else(|| GdError::NotFound(id.to_string()))?
             .kind;
         let eligible = self.eligible_blocks(kind);
-        let free_total: u64 = eligible
-            .iter()
-            .map(|i| self.blocks[*i].free_pages())
-            .sum();
+        let free_total: u64 = eligible.iter().map(|i| self.blocks[*i].free_pages()).sum();
         if free_total < pages {
             return Err(GdError::OutOfMemory {
                 requested_pages: pages,
@@ -481,7 +474,9 @@ impl MemoryManager {
         if self.blocks[index].unmovable_pages() > 0 {
             let latency = self.latencies.ebusy;
             self.stats.offline_ebusy += 1;
-            self.stats.ebusy_latency_us.record(latency.as_micros() as f64);
+            self.stats
+                .ebusy_latency_us
+                .record(latency.as_micros() as f64);
             self.stats.total_time += latency;
             return Ok(Err(OfflineFailure {
                 errno: OfflineErrno::Busy,
@@ -608,6 +603,49 @@ impl MemoryManager {
         let largest = largest_order.map(|o| 1u64 << o).unwrap_or(0);
         let attainable = free_total.min(1 << MAX_ORDER);
         1.0 - largest as f64 / attainable as f64
+    }
+
+    /// Audits every block (buddy structure, chunk layout, per-kind
+    /// counters) plus the allocation table: every chunk an allocation
+    /// records must exist in its block with the right owner, and sum to
+    /// the allocation's page count.
+    ///
+    /// # Errors
+    ///
+    /// Returns every problem found, one description per entry.
+    pub fn audit(&self) -> std::result::Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for b in &self.blocks {
+            if let Err(e) = b.audit() {
+                problems.push(e);
+            }
+        }
+        for (id, info) in &self.allocs {
+            let mut pages = 0u64;
+            for (bi, off) in &info.chunks {
+                match self.blocks.get(*bi).and_then(|b| b.chunk_at(*off)) {
+                    Some(c) if c.owner == *id => pages += 1u64 << c.order,
+                    Some(c) => problems.push(format!(
+                        "{id}: chunk at ({bi}, {off}) is owned by {}",
+                        c.owner
+                    )),
+                    None => problems.push(format!(
+                        "{id}: recorded chunk at ({bi}, {off}) does not exist"
+                    )),
+                }
+            }
+            if pages != info.pages {
+                problems.push(format!(
+                    "{id}: chunks hold {pages} pages but the table records {}",
+                    info.pages
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
     }
 
     /// On-lines a previously off-lined block (the kernel's

@@ -1,12 +1,10 @@
 //! Per-device IDD current parameters (the Micron power-calculator
 //! methodology the paper's CACTI/RAPL numbers stand in for).
 
-use serde::{Deserialize, Serialize};
-
 /// IDD currents (mA) and supply voltage for one DRAM device, as specified in
 /// DDR4 datasheets. Energy is integrated from these plus the timing
 /// parameters, following the standard DRAM power-calculation methodology.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IddParams {
     /// Core supply voltage (V).
     pub vdd: f64,
@@ -103,10 +101,7 @@ mod tests {
 
     #[test]
     fn state_power_ordering() {
-        for p in [
-            IddParams::ddr4_2133_4gb_x8(),
-            IddParams::ddr4_2133_8gb_x4(),
-        ] {
+        for p in [IddParams::ddr4_2133_4gb_x8(), IddParams::ddr4_2133_8gb_x4()] {
             assert!(p.active_standby_w() > p.precharge_standby_w());
             assert!(p.precharge_standby_w() > p.power_down_w());
             assert!(p.power_down_w() > p.self_refresh_w());

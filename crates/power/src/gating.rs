@@ -1,8 +1,6 @@
 //! Power-gating descriptors: how much of the DRAM's refresh and
 //! peripheral/static power a management policy has turned off.
 
-use serde::{Deserialize, Serialize};
-
 /// Residual power fraction of a deep-powered-down sub-array group, from the
 /// paper's circuit analysis: spare repair rows (< 2 % of rows) stay on and
 /// the power switches leak slightly.
@@ -15,7 +13,7 @@ pub const DEEP_PD_RESIDUAL: f64 = 0.03;
 /// * GreenDIMM's sub-array deep power-down disables both refresh and the
 ///   peripheral/IO static power of off-lined groups (`refresh_off` and
 ///   `background_off`), minus the [`DEEP_PD_RESIDUAL`].
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PowerGating {
     /// Fraction of the array whose refresh is stopped, in `[0, 1]`.
     pub refresh_off: f64,

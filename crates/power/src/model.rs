@@ -13,10 +13,9 @@ use crate::device::IddParams;
 use crate::gating::PowerGating;
 use gd_dram::{RankPowerState, RunStats};
 use gd_types::config::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// Energy breakdown of one run, in joules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DramEnergyBreakdown {
     /// Standby (background) energy across all states.
     pub background_j: f64,
@@ -35,7 +34,11 @@ pub struct DramEnergyBreakdown {
 impl DramEnergyBreakdown {
     /// Total energy in joules.
     pub fn total_j(&self) -> f64 {
-        self.background_j + self.refresh_j + self.activate_j + self.read_j + self.write_j
+        self.background_j
+            + self.refresh_j
+            + self.activate_j
+            + self.read_j
+            + self.write_j
             + self.io_j
     }
 
@@ -62,7 +65,7 @@ impl DramEnergyBreakdown {
 
 /// Average state-residency fractions and bus utilization for the analytic
 /// power path. Fractions must sum to ≤ 1 across the four states.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActivityProfile {
     /// Fraction of peak data-bus utilization in `[0, 1]`.
     pub bandwidth_util: f64,
@@ -193,16 +196,14 @@ impl DramPowerModel {
     pub fn read_energy_j(&self) -> f64 {
         let i = &self.idd;
         let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
-        i.vdd * (i.idd4r - i.idd3n).max(0.0) * 1e-3 * burst_s
-            * self.cfg.org.devices_per_rank as f64
+        i.vdd * (i.idd4r - i.idd3n).max(0.0) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// Core energy of one write burst across a rank, J.
     pub fn write_energy_j(&self) -> f64 {
         let i = &self.idd;
         let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
-        i.vdd * (i.idd4w - i.idd3n).max(0.0) * 1e-3 * burst_s
-            * self.cfg.org.devices_per_rank as f64
+        i.vdd * (i.idd4w - i.idd3n).max(0.0) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// I/O + termination energy of one 64-byte transfer, J.
@@ -216,14 +217,12 @@ impl DramPowerModel {
     pub fn refresh_energy_j(&self) -> f64 {
         let i = &self.idd;
         let t_rfc_s = self.cfg.timing.t_rfc as f64 * self.t_ck_s();
-        i.vdd * (i.idd5b - i.idd2n).max(0.0) * 1e-3 * t_rfc_s
-            * self.cfg.org.devices_per_rank as f64
+        i.vdd * (i.idd5b - i.idd2n).max(0.0) * 1e-3 * t_rfc_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// Average refresh power of the whole system when awake, W.
     pub fn refresh_avg_power_w(&self, gating: &PowerGating) -> f64 {
-        let per_rank =
-            self.refresh_energy_j() / (self.cfg.timing.t_refi as f64 * self.t_ck_s());
+        let per_rank = self.refresh_energy_j() / (self.cfg.timing.t_refi as f64 * self.t_ck_s());
         per_rank * self.cfg.org.total_ranks() as f64 * gating.refresh_multiplier()
     }
 
@@ -254,8 +253,7 @@ impl DramPowerModel {
             for (state, cycles) in pairs {
                 let secs = cycles as f64 * t_ck;
                 background_j += dev_per_rank
-                    * (self.device_core_background_w(state) * bg_mult
-                        + self.device_static_w())
+                    * (self.device_core_background_w(state) * bg_mult + self.device_static_w())
                     * secs;
             }
         }
@@ -319,8 +317,7 @@ mod tests {
     fn idle_power_256gb_matches_paper_measurement() {
         // Paper §3.2: 256 GB DRAM consumes ~18 W idle.
         let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
-        let idle =
-            model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+        let idle = model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
         assert!(
             (14.0..24.0).contains(&idle),
             "idle power {idle:.1} W should be near the paper's 18 W"
@@ -331,8 +328,7 @@ mod tests {
     fn busy_power_exceeds_idle_by_several_watts() {
         // Paper §3.2: 18 W idle vs 26 W busy at 256 GB.
         let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
-        let idle =
-            model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+        let idle = model.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
         let busy = model.analytic_power_w(&ActivityProfile::busy(0.45), &PowerGating::none());
         assert!(busy > idle + 4.0, "busy {busy:.1} vs idle {idle:.1}");
         assert!(busy < idle * 2.5);

@@ -30,16 +30,11 @@ pub const PASR_REGISTER_BITS_REFERENCE: u32 = 128;
 /// Turn-on resistance budget for the power switch (Ω).
 pub const SWITCH_ON_RESISTANCE_OHM: f64 = 0.1;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn constants_match_paper_claims() {
-        assert!(SWITCH_AREA_FRACTION < TOTAL_AREA_FRACTION);
-        assert!(TOTAL_AREA_FRACTION <= 0.01);
-        assert!(REGISTER_BITS < PASR_REGISTER_BITS_REFERENCE);
-        assert!(SPARE_ROW_FRACTION <= 0.02);
-        assert!(SWITCH_ON_RESISTANCE_OHM <= 0.1);
-    }
-}
+// Compile-time checks that the constants match the paper's claims.
+const _: () = {
+    assert!(SWITCH_AREA_FRACTION < TOTAL_AREA_FRACTION);
+    assert!(TOTAL_AREA_FRACTION <= 0.01);
+    assert!(REGISTER_BITS < PASR_REGISTER_BITS_REFERENCE);
+    assert!(SPARE_ROW_FRACTION <= 0.02);
+    assert!(SWITCH_ON_RESISTANCE_OHM <= 0.1);
+};

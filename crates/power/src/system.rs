@@ -7,10 +7,8 @@
 //! 256 GB correspond to ~9 % of system power, growing to 36 %/20 % at 1 TB
 //! (Fig. 13).
 
-use serde::{Deserialize, Serialize};
-
 /// Calibrated non-DRAM power constants for the evaluation server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemPowerModel {
     /// Power of everything except CPU dynamic power and DRAM (board, fans,
     /// PSU loss, disks, CPU idle), W.

@@ -9,13 +9,12 @@
 //!   256 GB. Used for the Azure VM-trace experiments.
 
 use crate::error::{GdError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Physical organization of the DRAM system.
 ///
 /// Capacities are derived, never stored, so the organization can not get out
 /// of sync with itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramOrg {
     /// Number of independent memory channels.
     pub channels: u32,
@@ -116,8 +115,7 @@ impl DramOrg {
 
     /// Capacity of one DRAM device in bits.
     pub fn device_bits(&self) -> u64 {
-        self.device_row_bytes() as u64 * 8 * self.rows_per_bank() as u64
-            * self.banks_per_rank() as u64
+        self.device_row_bytes() * 8 * self.rows_per_bank() as u64 * self.banks_per_rank() as u64
     }
 
     /// Total system capacity in bytes.
@@ -145,7 +143,7 @@ impl DramOrg {
 }
 
 /// DDR4 timing parameters, in memory-clock cycles unless suffixed `_ns`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
     /// Memory clock frequency in MHz (data rate is twice this).
     pub clock_mhz: f64,
@@ -204,7 +202,7 @@ impl DramTiming {
     /// DDR4-2133 (15-15-15) timing for a 4Gb device.
     pub fn ddr4_2133_4gb() -> Self {
         DramTiming {
-            clock_mhz: 1066.666_666_666_666_7,
+            clock_mhz: 1_066.666_666_666_666_7,
             cl: 15,
             t_rcd: 15,
             t_rp: 15,
@@ -220,7 +218,7 @@ impl DramTiming {
             t_wtr_l: 9,
             t_rtp: 8,
             cwl: 11,
-            t_rfc: 278, // 260 ns for 4Gb parts
+            t_rfc: 278,   // 260 ns for 4Gb parts
             t_refi: 8320, // 7.8 us
             t_cke: 6,
             t_xp: 7,
@@ -272,7 +270,7 @@ impl DramTiming {
                 "same-bank-group constraints must be >= different-bank-group".into(),
             ));
         }
-        if self.burst_length == 0 || self.burst_length % 2 != 0 {
+        if self.burst_length == 0 || !self.burst_length.is_multiple_of(2) {
             return Err(GdError::InvalidConfig(
                 "burst_length must be a positive even number".into(),
             ));
@@ -282,7 +280,7 @@ impl DramTiming {
 }
 
 /// How physical addresses are spread across the DRAM hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InterleaveMode {
     /// Channel/rank/bank interleaving using low-order cache-line-granularity
     /// address bits (the commodity-server default the paper evaluates).
@@ -304,7 +302,7 @@ impl InterleaveMode {
 }
 
 /// Complete DRAM system configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Physical organization.
     pub org: DramOrg,

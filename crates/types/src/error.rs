@@ -41,7 +41,10 @@ impl fmt::Display for GdError {
         match self {
             GdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GdError::AddressOutOfRange { addr, capacity } => {
-                write!(f, "address {addr:#x} out of range for capacity {capacity:#x}")
+                write!(
+                    f,
+                    "address {addr:#x} out of range for capacity {capacity:#x}"
+                )
             }
             GdError::NotFound(what) => write!(f, "not found: {what}"),
             GdError::OfflineBusy => write!(f, "off-lining failed: unmovable page in block (EBUSY)"),

@@ -4,7 +4,6 @@
 //! rank-where-a-bank-was-expected bug when plumbing decoded addresses through
 //! the controller, device model, and power model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
@@ -12,7 +11,6 @@ macro_rules! id_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub u32);
 
@@ -83,7 +81,7 @@ id_newtype!(
 );
 
 /// A fully decoded DRAM coordinate for one request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramCoord {
     /// Channel index.
     pub channel: Channel,

@@ -1,9 +1,7 @@
 //! Small statistics helpers used by the simulators and the bench harness.
 
-use serde::{Deserialize, Serialize};
-
 /// A streaming accumulator for mean/min/max/count of an `f64` series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: u64,
     sum: f64,

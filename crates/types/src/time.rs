@@ -5,15 +5,12 @@
 //! between the two go through the configured clock period so the two engines
 //! can exchange timestamps without unit bugs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A count of DRAM clock cycles.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(pub u64);
 
 impl Cycles {
@@ -96,9 +93,7 @@ impl fmt::Display for Cycles {
 /// Picoseconds give headroom: `u64` picoseconds covers ~213 days, far more
 /// than the 24-hour VM-trace experiments need, while representing DDR4-2133
 /// cycle times (937.5 ps) exactly.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -275,9 +270,9 @@ mod tests {
     fn cycle_time_conversion_ddr4_2133() {
         // DDR4-2133: 1066.66 MHz clock, period 937.5 ps.
         let one_us = SimTime::from_micros(1);
-        let cycles = one_us.to_cycles(1066.666_666_7);
+        let cycles = one_us.to_cycles(1_066.666_666_7);
         assert!((1066..=1067).contains(&cycles.as_u64()));
-        let back = SimTime::from_cycles(cycles, 1066.666_666_7);
+        let back = SimTime::from_cycles(cycles, 1_066.666_666_7);
         assert!(back.as_nanos() >= 999 && back.as_nanos() <= 1001);
     }
 

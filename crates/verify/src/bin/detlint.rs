@@ -1,0 +1,196 @@
+//! detlint: the source-level determinism gate.
+//!
+//! Every simulation result in this workspace must be a pure function of
+//! its configuration and seed. This scanner walks the workspace's Rust
+//! sources and rejects the hazards that break that: entropy-seeded RNGs
+//! and wall-clock reads. It mirrors the `disallowed_methods` clippy
+//! configuration in `clippy.toml`, but runs without clippy (and also
+//! catches hazards in code paths clippy cannot see, e.g. behind cfgs).
+//!
+//! A line may opt out with a trailing `detlint: allow(<tag>)` annotation;
+//! the only intended use is the micro-benchmark harness, which measures
+//! real elapsed time on purpose. Comment lines are ignored (prose may
+//! discuss the hazards).
+//!
+//! Run with `cargo run -p gd-verify --bin detlint`; exits non-zero when
+//! any hazard is found.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Hazard {
+    /// The source pattern that trips the gate. Spliced with `concat!` so
+    /// this scanner does not flag its own source.
+    needle: &'static str,
+    /// Why the pattern is banned.
+    why: &'static str,
+    /// Tag accepted in a `detlint: allow(<tag>)` annotation.
+    tag: &'static str,
+}
+
+const HAZARDS: &[Hazard] = &[
+    Hazard {
+        needle: concat!("from_", "entropy"),
+        why: "entropy-seeded RNG; seed from the configuration instead",
+        tag: "entropy",
+    },
+    Hazard {
+        needle: concat!("thread_", "rng"),
+        why: "thread-local entropy RNG; use gd_types::rng with a fixed seed",
+        tag: "entropy",
+    },
+    Hazard {
+        needle: concat!("SystemTime::", "now"),
+        why: "wall-clock read; simulated time comes from SimTime",
+        tag: "wallclock",
+    },
+    Hazard {
+        needle: concat!("Instant::", "now"),
+        why: "wall-clock read; use SimTime or cycle counters",
+        tag: "instant",
+    },
+];
+
+/// Directories under the workspace root that hold Rust sources.
+const ROOTS: &[&str] = &["crates", "src", "tests", "examples", "benches"];
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    needle: &'static str,
+    why: &'static str,
+}
+
+fn main() -> ExitCode {
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verify has a workspace root two levels up")
+        .to_path_buf();
+    let mut files = Vec::new();
+    for root in ROOTS {
+        collect_rs_files(&workspace.join(root), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let Ok(text) = fs::read_to_string(file) else {
+            continue;
+        };
+        scan(file, &text, &mut findings);
+    }
+    if findings.is_empty() {
+        println!("detlint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!(
+                "detlint: {}:{}: `{}` — {}",
+                f.file.strip_prefix(&workspace).unwrap_or(&f.file).display(),
+                f.line,
+                f.needle,
+                f.why
+            );
+        }
+        println!(
+            "detlint: {} hazard(s) in {} files scanned",
+            findings.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn scan(file: &Path, text: &str, out: &mut Vec<Finding>) {
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            continue; // prose may name the hazards
+        }
+        for hazard in HAZARDS {
+            if !line.contains(hazard.needle) {
+                continue;
+            }
+            if is_allowed(line, hazard.tag) {
+                continue;
+            }
+            out.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                needle: hazard.needle,
+                why: hazard.why,
+            });
+        }
+    }
+}
+
+fn is_allowed(line: &str, tag: &str) -> bool {
+    let marker = concat!("detlint: ", "allow");
+    let Some(pos) = line.find(marker) else {
+        return false;
+    };
+    let rest = &line[pos + marker.len()..];
+    match rest.trim_start().strip_prefix('(') {
+        // `detlint: allow(tag)` — only the named hazard is exempt.
+        Some(args) => args
+            .split(')')
+            .next()
+            .is_some_and(|list| list.split(',').any(|t| t.trim() == tag)),
+        // Bare `detlint: allow` exempts the whole line.
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_each_hazard_class() {
+        let src = HAZARDS
+            .iter()
+            .map(|h| format!("let x = {}();", h.needle))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert_eq!(findings.len(), HAZARDS.len());
+    }
+
+    #[test]
+    fn comments_and_annotations_are_exempt() {
+        let hazard = concat!("thread_", "rng");
+        let src =
+            format!("// {hazard} is banned\nlet a = {hazard}(); // detlint: allow(entropy)\n");
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert!(findings.is_empty(), "{}", findings.len());
+    }
+
+    #[test]
+    fn wrong_tag_does_not_exempt() {
+        let hazard = concat!("thread_", "rng");
+        let src = format!("let a = {hazard}(); // detlint: allow(instant)\n");
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert_eq!(findings.len(), 1);
+    }
+}

@@ -1,0 +1,287 @@
+//! Invariants over the GreenDIMM daemon's *observable* behaviour.
+//!
+//! The daemon lives in `greendimm` (which depends on this crate's
+//! siblings), so its invariants are stated over plain observation records
+//! that the co-simulation harness fills in after every monitoring tick:
+//!
+//! * [`DaemonTickObs`] — what one `memory_usage_monitor()` tick did to the
+//!   free-page pool, checked by [`HysteresisInvariant`];
+//! * [`GroupStateObs`] — one sub-array group's deep power-down bit against
+//!   its hotplug state, checked by [`DeepPdRequiresOffline`] and
+//!   [`NeighborPair`] (the paper's §4.3/§6.1 safety properties: traffic
+//!   never reaches a deep-PD group, and a group only powers down when its
+//!   sense-amplifier buddy holds no on-line data).
+
+use crate::{Invariant, Violation};
+
+/// What one daemon tick did, as observed by the harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DaemonTickObs {
+    /// Free pages before the tick.
+    pub free_before: u64,
+    /// Free pages after the tick.
+    pub free_after: u64,
+    /// On-line pages after the tick.
+    pub total_after: u64,
+    /// Pages taken off-line by this tick.
+    pub offlined_pages: u64,
+    /// Pages brought on-line by this tick.
+    pub onlined_pages: u64,
+    /// The off-lining threshold in effect (fraction of on-line memory).
+    pub off_thr: f64,
+    /// The on-lining threshold (fraction of on-line memory).
+    pub on_thr: f64,
+}
+
+/// The §4.2 hysteresis contract: thresholds are ordered, off-lining never
+/// pushes free memory below the on-lining floor (which would trigger an
+/// immediate re-online next tick), and one tick never moves in both
+/// directions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HysteresisInvariant;
+
+impl Invariant<DaemonTickObs> for HysteresisInvariant {
+    fn name(&self) -> &'static str {
+        "daemon.hysteresis"
+    }
+
+    fn check(&self, t: &DaemonTickObs, out: &mut Vec<Violation>) {
+        if t.off_thr < t.on_thr {
+            out.push(Violation {
+                invariant: self.name(),
+                detail: format!(
+                    "off_thr {} below on_thr {}: hysteresis band inverted",
+                    t.off_thr, t.on_thr
+                ),
+            });
+        }
+        if t.offlined_pages > 0 {
+            let on_floor = (t.total_after as f64 * t.on_thr).ceil() as u64;
+            if t.free_after < on_floor {
+                out.push(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "off-lined {} pages leaving only {} free pages, below the \
+                         on-lining floor of {on_floor}",
+                        t.offlined_pages, t.free_after
+                    ),
+                });
+            }
+        }
+        if t.offlined_pages > 0 && t.onlined_pages > 0 {
+            out.push(Violation {
+                invariant: self.name(),
+                detail: format!(
+                    "tick both off-lined {} and on-lined {} pages",
+                    t.offlined_pages, t.onlined_pages
+                ),
+            });
+        }
+    }
+}
+
+/// One sub-array group's register bit against its hotplug state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupStateObs {
+    /// Group index.
+    pub group: usize,
+    /// Deep power-down bit set in the register file.
+    pub down: bool,
+    /// Every memory block overlapping the group is off-line.
+    pub fully_offline: bool,
+    /// The sense-amplifier buddy group's deep power-down bit.
+    pub buddy_down: bool,
+    /// Every block overlapping the buddy group is off-line.
+    pub buddy_fully_offline: bool,
+    /// Whether the open-bitline buddy constraint is being enforced.
+    pub neighbor_constraint: bool,
+}
+
+/// §4.3 safety: the OS may only set a group's deep power-down bit while
+/// every overlapping memory block is off-line (otherwise live data loses
+/// refresh), and on-lined memory implies the bit was cleared first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeepPdRequiresOffline;
+
+impl Invariant<[GroupStateObs]> for DeepPdRequiresOffline {
+    fn name(&self) -> &'static str {
+        "group.deep-pd-requires-offline"
+    }
+
+    fn check(&self, groups: &[GroupStateObs], out: &mut Vec<Violation>) {
+        for g in groups {
+            if g.down && !g.fully_offline {
+                out.push(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "group {} is in deep power-down while holding on-line memory",
+                        g.group
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// §6.1 open-bitline safety: with the neighbor constraint on, a group may
+/// only stay in deep power-down while its sense-amplifier buddy group is
+/// fully off-line (the buddy's accesses would otherwise need the powered
+/// down group's sense amplifiers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighborPair;
+
+impl Invariant<[GroupStateObs]> for NeighborPair {
+    fn name(&self) -> &'static str {
+        "group.neighbor-pair"
+    }
+
+    fn check(&self, groups: &[GroupStateObs], out: &mut Vec<Violation>) {
+        for g in groups {
+            if g.neighbor_constraint && g.down && !g.buddy_fully_offline {
+                out.push(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "group {} is in deep power-down but its sense-amp buddy \
+                         still holds on-line memory",
+                        g.group
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The standard invariant set over per-tick observations.
+pub fn tick_checker(mode: crate::Mode) -> crate::Checker<DaemonTickObs> {
+    crate::Checker::new(mode).with(Box::new(HysteresisInvariant))
+}
+
+/// The standard invariant set over group-state observations.
+pub fn group_checker(mode: crate::Mode) -> crate::Checker<[GroupStateObs]> {
+    crate::Checker::new(mode)
+        .with(Box::new(DeepPdRequiresOffline))
+        .with(Box::new(NeighborPair))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    fn clean_tick() -> DaemonTickObs {
+        DaemonTickObs {
+            free_before: 10_000,
+            free_after: 6_000,
+            total_after: 50_000,
+            offlined_pages: 4_000,
+            onlined_pages: 0,
+            off_thr: 0.10,
+            on_thr: 0.05,
+        }
+    }
+
+    #[test]
+    fn clean_tick_passes() {
+        let mut c = tick_checker(Mode::Strict);
+        c.run(&clean_tick()).unwrap();
+    }
+
+    #[test]
+    fn offlining_below_on_floor_fires() {
+        let mut c = tick_checker(Mode::Record);
+        let t = DaemonTickObs {
+            free_after: 2_000, // floor is 2_500
+            ..clean_tick()
+        };
+        assert_eq!(c.run(&t).unwrap(), 1);
+        assert!(c.stats.recorded[0].detail.contains("on-lining floor"));
+    }
+
+    #[test]
+    fn inverted_thresholds_fire() {
+        let mut c = tick_checker(Mode::Record);
+        let t = DaemonTickObs {
+            off_thr: 0.04,
+            ..clean_tick()
+        };
+        assert!(c.run(&t).unwrap() >= 1);
+    }
+
+    #[test]
+    fn bidirectional_tick_fires() {
+        let mut c = tick_checker(Mode::Record);
+        let t = DaemonTickObs {
+            onlined_pages: 100,
+            ..clean_tick()
+        };
+        assert_eq!(c.run(&t).unwrap(), 1);
+    }
+
+    fn group(idx: usize) -> GroupStateObs {
+        GroupStateObs {
+            group: idx,
+            down: false,
+            fully_offline: false,
+            buddy_down: false,
+            buddy_fully_offline: false,
+            neighbor_constraint: true,
+        }
+    }
+
+    #[test]
+    fn deep_pd_with_online_memory_fires() {
+        let mut c = group_checker(Mode::Record);
+        let gs = vec![GroupStateObs {
+            down: true,
+            fully_offline: false,
+            buddy_fully_offline: true,
+            ..group(3)
+        }];
+        assert_eq!(c.run(&gs).unwrap(), 1);
+        assert_eq!(
+            c.stats.recorded[0].invariant,
+            "group.deep-pd-requires-offline"
+        );
+    }
+
+    #[test]
+    fn neighbor_pair_violation_fires_only_under_constraint() {
+        let bad = GroupStateObs {
+            down: true,
+            fully_offline: true,
+            buddy_fully_offline: false,
+            ..group(4)
+        };
+        let mut c = group_checker(Mode::Record);
+        assert_eq!(c.run(&[bad][..]).unwrap(), 1);
+        assert_eq!(c.stats.recorded[0].invariant, "group.neighbor-pair");
+        let unconstrained = GroupStateObs {
+            neighbor_constraint: false,
+            ..bad
+        };
+        let mut c2 = group_checker(Mode::Strict);
+        c2.run(&[unconstrained][..]).unwrap();
+    }
+
+    #[test]
+    fn buddy_pair_both_down_is_legal() {
+        let mut c = group_checker(Mode::Strict);
+        let gs = vec![
+            GroupStateObs {
+                down: true,
+                fully_offline: true,
+                buddy_down: true,
+                buddy_fully_offline: true,
+                ..group(0)
+            },
+            GroupStateObs {
+                down: true,
+                fully_offline: true,
+                buddy_down: true,
+                buddy_fully_offline: true,
+                ..group(1)
+            },
+        ];
+        c.run(&gs).unwrap();
+    }
+}

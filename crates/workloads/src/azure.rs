@@ -13,16 +13,13 @@
 //! used capacity by ~24 % on average, matching Fig. 1's `w/ ksm` series.
 
 use crate::profile::Suite;
-use gd_types::rng::component_rng;
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use gd_types::rng::{component_rng, StdRng};
 
 /// Pages per GiB with 4 KB pages.
 const PAGES_PER_GB: u64 = (1 << 30) / 4096;
 
 /// One virtual machine instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmSpec {
     /// Instance id (unique per start event).
     pub id: u32,
@@ -77,7 +74,7 @@ impl VmSpec {
 }
 
 /// A VM lifecycle event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmEvent {
     /// Event time in seconds from trace start.
     pub time_s: u64,
@@ -88,7 +85,7 @@ pub struct VmEvent {
 }
 
 /// Start/stop discriminator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmEventKind {
     /// The VM was scheduled onto the host.
     Start,
@@ -97,7 +94,7 @@ pub enum VmEventKind {
 }
 
 /// Configuration of the synthesized trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AzureConfig {
     /// Host physical cores (paper: 16; consolidation cap is 2× this).
     pub host_cores: u32,
@@ -137,7 +134,7 @@ impl AzureConfig {
 
 /// The synthesized trace: lifecycle events plus a sampled utilization
 /// series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AzureTrace {
     /// Start/stop events in time order.
     pub events: Vec<VmEvent>,
@@ -157,9 +154,9 @@ impl AzureTrace {
 
     /// Minimum and maximum utilization.
     pub fn utilization_range(&self) -> (f64, f64) {
-        self.utilization.iter().fold((1.0, 0.0), |(lo, hi), (_, u)| {
-            (lo.min(*u), hi.max(*u))
-        })
+        self.utilization
+            .iter()
+            .fold((1.0, 0.0), |(lo, hi), (_, u)| (lo.min(*u), hi.max(*u)))
     }
 
     /// The workload suite marker for this trace (for figure grouping).
@@ -180,16 +177,16 @@ fn sample_vm(id: u32, rng: &mut StdRng) -> VmSpec {
     let mem_gb = mem_choices[rng.gen_range(0..mem_choices.len())];
     // Lifetime mixture: most VMs are short-lived; a fat tail runs for hours.
     let lifetime_s = match rng.gen_range(0..100) {
-        0..=39 => rng.gen_range(600..3_600),
-        40..=79 => rng.gen_range(3_600..6 * 3_600),
-        _ => rng.gen_range(6 * 3_600..24 * 3_600),
+        0..=39 => rng.gen_range(600u64..3_600),
+        40..=79 => rng.gen_range(3_600u64..6 * 3_600),
+        _ => rng.gen_range(6u64 * 3_600..24 * 3_600),
     };
     VmSpec {
         id,
         vcpus,
         mem_gb,
         lifetime_s,
-        os_type: rng.gen_range(0..4),
+        os_type: rng.gen_range(0u32..4) as u8,
         zero_fraction: rng.gen_range(0.08..0.22),
         os_fraction: rng.gen_range(0.10..0.30),
     }
@@ -225,7 +222,8 @@ pub fn synthesize(cfg: &AzureConfig) -> AzureTrace {
         active = still;
         // Diurnal arrival intensity: trough at t=0, peak mid-trace.
         let phase = t as f64 / 86_400.0 * std::f64::consts::TAU;
-        let intensity = cfg.arrivals_per_tick * (1.0 + 0.9 * (phase - std::f64::consts::FRAC_PI_2).sin());
+        let intensity =
+            cfg.arrivals_per_tick * (1.0 + 0.9 * (phase - std::f64::consts::FRAC_PI_2).sin());
         let arrivals = poisson(intensity.max(0.0), &mut rng);
         for _ in 0..arrivals {
             backlog.push(sample_vm(next_id, &mut rng));
@@ -236,9 +234,7 @@ pub fn synthesize(cfg: &AzureConfig) -> AzureTrace {
         let mut used_mem: u64 = active.iter().map(|e| e.vm.mem_gb as u64).sum();
         let mut remaining_backlog = Vec::new();
         for vm in backlog.drain(..) {
-            if used_vcpus + vm.vcpus <= vcpu_cap
-                && used_mem + vm.mem_gb as u64 <= cfg.capacity_gb
-            {
+            if used_vcpus + vm.vcpus <= vcpu_cap && used_mem + vm.mem_gb as u64 <= cfg.capacity_gb {
                 used_vcpus += vm.vcpus;
                 used_mem += vm.mem_gb as u64;
                 let ev = VmEvent {
@@ -271,7 +267,7 @@ fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
     let mut k = 0u32;
     let mut p = 1.0;
     loop {
-        p *= rng.gen::<f64>();
+        p *= rng.next_f64();
         if p <= l {
             return k;
         }
@@ -336,10 +332,7 @@ mod tests {
     #[test]
     fn events_are_time_ordered_and_balanced_types() {
         let trace = synthesize(&AzureConfig::short_test());
-        assert!(trace
-            .events
-            .windows(2)
-            .all(|w| w[0].time_s <= w[1].time_s));
+        assert!(trace.events.windows(2).all(|w| w[0].time_s <= w[1].time_s));
         let starts = trace
             .events
             .iter()
@@ -370,13 +363,20 @@ mod tests {
             zero_fraction: 0.1,
             os_fraction: 0.2,
         };
-        let b = VmSpec { id: 2, mem_gb: 8, ..a.clone() };
+        let b = VmSpec {
+            id: 2,
+            mem_gb: 8,
+            ..a.clone()
+        };
         let keys_a: std::collections::HashSet<u64> =
             a.ksm_contents().0.iter().map(|(k, _)| *k).collect();
         let keys_b: std::collections::HashSet<u64> =
             b.ksm_contents().0.iter().map(|(k, _)| *k).collect();
         assert!(keys_a.intersection(&keys_b).count() > 1000);
-        let c = VmSpec { os_type: 3, ..a.clone() };
+        let c = VmSpec {
+            os_type: 3,
+            ..a.clone()
+        };
         let keys_c: std::collections::HashSet<u64> =
             c.ksm_contents().0.iter().map(|(k, _)| *k).collect();
         // Different OS: only the zero page overlaps.

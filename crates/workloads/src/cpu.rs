@@ -12,10 +12,9 @@
 
 use crate::profile::AppProfile;
 use crate::trace::{CPU_FREQ_MHZ, MEM_FREQ_MHZ};
-use serde::{Deserialize, Serialize};
 
 /// Runtime prediction for one benchmark under one memory configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeEstimate {
     /// Effective cycles per instruction.
     pub cpi: f64,

@@ -7,10 +7,8 @@
 //! intensity (MPKI) and footprint dynamics (stable vs. churning) — so the
 //! profiles pin those published characteristics per benchmark.
 
-use serde::{Deserialize, Serialize};
-
 /// Benchmark suite, for grouping in figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU2006.
     Spec2006,
@@ -24,7 +22,7 @@ pub enum Suite {
 
 /// How an application's resident footprint evolves over its run (drives
 /// how often GreenDIMM must on/off-line blocks: Figs. 6–8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FootprintDynamics {
     /// Allocates its working set at start and keeps it (mcf, lbm,
     /// libquantum, the CloudSuite services).
@@ -44,7 +42,7 @@ pub enum FootprintDynamics {
 }
 
 /// One benchmark's memory behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Canonical name (e.g. "mcf", "403.gcc", "data-caching").
     pub name: &'static str,
@@ -120,7 +118,7 @@ impl AppProfile {
                 };
                 min_fraction + (1.0 - min_fraction) * tri
             }
-            FootprintDynamics::Ramp => (t_s / 60.0).min(1.0).max(0.05),
+            FootprintDynamics::Ramp => (t_s / 60.0).clamp(0.05, 1.0),
         }
     }
 }
@@ -277,7 +275,17 @@ pub fn by_name(name: &str) -> Option<AppProfile> {
             "519.lbm", Spec2017, 3200, 42.0, 0.60, 0.75, 8.0, 0.7, 320.0, Stable, false,
         ),
         "ml_linear" | "ml-linear" => p(
-            "ml_linear", HiBench, 4800, 38.0, 0.72, 0.65, 6.0, 0.8, 400.0, Ramp, false,
+            "ml_linear",
+            HiBench,
+            4800,
+            38.0,
+            0.72,
+            0.65,
+            6.0,
+            0.8,
+            400.0,
+            Ramp,
+            false,
         ),
         "data-caching" => p(
             "data-caching",
@@ -323,63 +331,219 @@ pub fn by_name(name: &str) -> Option<AppProfile> {
             "433.milc", Spec2006, 680, 30.0, 0.75, 0.70, 6.0, 0.8, 260.0, Stable, false,
         ),
         "omnetpp" | "471.omnetpp" => p(
-            "471.omnetpp", Spec2006, 170, 21.0, 0.80, 0.40, 3.0, 1.0, 250.0, Stable, false,
+            "471.omnetpp",
+            Spec2006,
+            170,
+            21.0,
+            0.80,
+            0.40,
+            3.0,
+            1.0,
+            250.0,
+            Stable,
+            false,
         ),
         "xalancbmk" | "483.xalancbmk" => p(
-            "483.xalancbmk", Spec2006, 430, 24.0, 0.85, 0.45, 3.5, 0.9, 280.0,
-            Churn { min_fraction: 0.5, period_s: 8.0 }, false,
+            "483.xalancbmk",
+            Spec2006,
+            430,
+            24.0,
+            0.85,
+            0.45,
+            3.5,
+            0.9,
+            280.0,
+            Churn {
+                min_fraction: 0.5,
+                period_s: 8.0,
+            },
+            false,
         ),
         "bwaves" | "410.bwaves" => p(
-            "410.bwaves", Spec2006, 870, 19.0, 0.65, 0.85, 7.0, 0.7, 300.0, Stable, false,
+            "410.bwaves",
+            Spec2006,
+            870,
+            19.0,
+            0.65,
+            0.85,
+            7.0,
+            0.7,
+            300.0,
+            Stable,
+            false,
         ),
         "gems" | "459.GemsFDTD" => p(
-            "459.GemsFDTD", Spec2006, 840, 25.0, 0.70, 0.80, 7.0, 0.7, 290.0, Stable, false,
+            "459.GemsFDTD",
+            Spec2006,
+            840,
+            25.0,
+            0.70,
+            0.80,
+            7.0,
+            0.7,
+            290.0,
+            Stable,
+            false,
         ),
         "sphinx3" | "482.sphinx3" => p(
-            "482.sphinx3", Spec2006, 45, 12.0, 0.90, 0.60, 3.0, 0.9, 310.0, Stable, false,
+            "482.sphinx3",
+            Spec2006,
+            45,
+            12.0,
+            0.90,
+            0.60,
+            3.0,
+            0.9,
+            310.0,
+            Stable,
+            false,
         ),
         "astar" | "473.astar" => p(
-            "473.astar", Spec2006, 330, 10.0, 0.85, 0.40, 2.5, 1.0, 240.0,
-            Churn { min_fraction: 0.6, period_s: 25.0 }, false,
+            "473.astar",
+            Spec2006,
+            330,
+            10.0,
+            0.85,
+            0.40,
+            2.5,
+            1.0,
+            240.0,
+            Churn {
+                min_fraction: 0.6,
+                period_s: 25.0,
+            },
+            false,
         ),
         "zeusmp" | "434.zeusmp" => p(
-            "434.zeusmp", Spec2006, 510, 8.0, 0.70, 0.75, 5.0, 0.8, 270.0, Stable, false,
+            "434.zeusmp",
+            Spec2006,
+            510,
+            8.0,
+            0.70,
+            0.75,
+            5.0,
+            0.8,
+            270.0,
+            Stable,
+            false,
         ),
         // Additional SPEC CPU2017 profiles.
         "505.mcf_r" => p(
-            "505.mcf_r", Spec2017, 3900, 55.0, 0.75, 0.45, 6.0, 0.9, 380.0, Stable, false,
+            "505.mcf_r",
+            Spec2017,
+            3900,
+            55.0,
+            0.75,
+            0.45,
+            6.0,
+            0.9,
+            380.0,
+            Stable,
+            false,
         ),
         "520.omnetpp" | "520.omnetpp_r" => p(
-            "520.omnetpp", Spec2017, 250, 18.0, 0.80, 0.40, 3.0, 1.0, 260.0, Stable, false,
+            "520.omnetpp",
+            Spec2017,
+            250,
+            18.0,
+            0.80,
+            0.40,
+            3.0,
+            1.0,
+            260.0,
+            Stable,
+            false,
         ),
         "523.xalancbmk" | "523.xalancbmk_r" => p(
-            "523.xalancbmk", Spec2017, 480, 20.0, 0.85, 0.45, 3.5, 0.9, 290.0,
-            Churn { min_fraction: 0.5, period_s: 8.0 }, false,
+            "523.xalancbmk",
+            Spec2017,
+            480,
+            20.0,
+            0.85,
+            0.45,
+            3.5,
+            0.9,
+            290.0,
+            Churn {
+                min_fraction: 0.5,
+                period_s: 8.0,
+            },
+            false,
         ),
         "549.fotonik3d" | "549.fotonik3d_r" => p(
-            "549.fotonik3d", Spec2017, 850, 35.0, 0.65, 0.85, 8.0, 0.7, 310.0, Stable, false,
+            "549.fotonik3d",
+            Spec2017,
+            850,
+            35.0,
+            0.65,
+            0.85,
+            8.0,
+            0.7,
+            310.0,
+            Stable,
+            false,
         ),
         "554.roms" | "554.roms_r" => p(
             "554.roms", Spec2017, 1050, 28.0, 0.70, 0.80, 7.0, 0.7, 300.0, Stable, false,
         ),
         // Additional HiBench workloads.
         "wordcount" | "hibench-wordcount" => p(
-            "wordcount", HiBench, 3200, 22.0, 0.80, 0.70, 5.0, 0.9, 350.0, Ramp, false,
+            "wordcount",
+            HiBench,
+            3200,
+            22.0,
+            0.80,
+            0.70,
+            5.0,
+            0.9,
+            350.0,
+            Ramp,
+            false,
         ),
         "terasort" | "hibench-terasort" => p(
             "terasort", HiBench, 5600, 33.0, 0.60, 0.65, 6.0, 0.8, 420.0, Ramp, false,
         ),
         "kmeans" | "hibench-kmeans" => p(
-            "kmeans", HiBench, 2800, 26.0, 0.85, 0.75, 6.0, 0.8, 380.0,
-            Churn { min_fraction: 0.7, period_s: 30.0 }, false,
+            "kmeans",
+            HiBench,
+            2800,
+            26.0,
+            0.85,
+            0.75,
+            6.0,
+            0.8,
+            380.0,
+            Churn {
+                min_fraction: 0.7,
+                period_s: 30.0,
+            },
+            false,
         ),
         // Additional CloudSuite services.
         "graph-analytics" => p(
-            "graph-analytics", CloudSuite, 4200, 31.0, 0.85, 0.35, 4.0, 1.0, 330.0, Ramp,
+            "graph-analytics",
+            CloudSuite,
+            4200,
+            31.0,
+            0.85,
+            0.35,
+            4.0,
+            1.0,
+            330.0,
+            Ramp,
             false,
         ),
         "media-streaming" => p(
-            "media-streaming", CloudSuite, 1400, 4.0, 0.90, 0.80, 2.5, 1.2, 260.0, Stable,
+            "media-streaming",
+            CloudSuite,
+            1400,
+            4.0,
+            0.90,
+            0.80,
+            2.5,
+            1.2,
+            260.0,
+            Stable,
             true,
         ),
         _ => return None,
@@ -401,9 +565,23 @@ mod tests {
     #[test]
     fn extended_catalog_is_complete_and_consistent() {
         let names = [
-            "milc", "omnetpp", "xalancbmk", "bwaves", "gems", "sphinx3", "astar",
-            "zeusmp", "505.mcf_r", "520.omnetpp", "523.xalancbmk", "549.fotonik3d",
-            "554.roms", "wordcount", "terasort", "kmeans", "graph-analytics",
+            "milc",
+            "omnetpp",
+            "xalancbmk",
+            "bwaves",
+            "gems",
+            "sphinx3",
+            "astar",
+            "zeusmp",
+            "505.mcf_r",
+            "520.omnetpp",
+            "523.xalancbmk",
+            "549.fotonik3d",
+            "554.roms",
+            "wordcount",
+            "terasort",
+            "kmeans",
+            "graph-analytics",
             "media-streaming",
         ];
         for n in names {

@@ -7,16 +7,14 @@
 
 use crate::profile::AppProfile;
 use gd_dram::{MemRequest, CACHE_LINE_BYTES};
-use gd_types::rng::component_rng;
-use rand::rngs::StdRng;
-use rand::Rng;
+use gd_types::rng::{component_rng, StdRng};
 
 /// CPU core frequency assumed by the arrival-rate conversion (the paper's
 /// Xeon runs near 3.2 GHz).
 pub const CPU_FREQ_MHZ: f64 = 3200.0;
 
 /// Memory clock of DDR4-2133.
-pub const MEM_FREQ_MHZ: f64 = 1066.666_666_666_666_7;
+pub const MEM_FREQ_MHZ: f64 = 1_066.666_666_666_666_7;
 
 /// A deterministic generator of [`MemRequest`]s for one benchmark.
 #[derive(Debug)]
@@ -75,7 +73,10 @@ impl TraceGenerator {
         let u: f64 = self.rng.gen_range(1e-9..1.0f64);
         self.next_arrival += -self.gap_cycles * u.ln();
         let arrival = self.next_arrival as u64;
-        if self.rng.gen_bool(self.profile.read_fraction.clamp(0.0, 1.0)) {
+        if self
+            .rng
+            .gen_bool(self.profile.read_fraction.clamp(0.0, 1.0))
+        {
             MemRequest::read(addr, arrival)
         } else {
             MemRequest::write(addr, arrival)
@@ -129,10 +130,7 @@ mod tests {
         let p = by_name("mcf").unwrap();
         let mut g = TraceGenerator::new(p.clone(), 3);
         let trace = g.take(10_000);
-        let reads = trace
-            .iter()
-            .filter(|r| r.kind == AccessKind::Read)
-            .count() as f64;
+        let reads = trace.iter().filter(|r| r.kind == AccessKind::Read).count() as f64;
         let frac = reads / trace.len() as f64;
         assert!((frac - p.read_fraction).abs() < 0.03, "read frac {frac}");
     }

@@ -23,25 +23,31 @@ fn main() {
         report.runtime_s,
         report.overhead_fraction * 100.0
     );
-    println!("avg read latency     : {:.0} memory cycles", report.avg_read_latency_cycles);
+    println!(
+        "avg read latency     : {:.0} memory cycles",
+        report.avg_read_latency_cycles
+    );
     println!(
         "off-lined capacity   : {:.0}% of managed memory (time-averaged)",
         report.avg_offline_fraction * 100.0
     );
     println!("DRAM power           : {:.1} W", report.dram_power_w);
     println!("DRAM energy          : {:.0} J", report.dram_energy_joules);
-    println!("system energy        : {:.0} J", report.system_energy_joules);
+    println!(
+        "system energy        : {:.0} J",
+        report.system_energy_joules
+    );
     println!(
         "hotplug events       : {} off-line, {} on-line, {} failures",
-        report.daemon.offline_events, report.daemon.online_events,
+        report.daemon.offline_events,
+        report.daemon.online_events,
         report.daemon.failures()
     );
 
     // What the same platform would burn without GreenDIMM: a tiny footprint
     // still keeps every sub-array powered and refreshing.
     let model = DramPowerModel::new(sys.config().dram);
-    let conventional =
-        model.analytic_power_w(&ActivityProfile::busy(0.2), &PowerGating::none());
+    let conventional = model.analytic_power_w(&ActivityProfile::busy(0.2), &PowerGating::none());
     println!(
         "\nconventional DRAM power for the same run: {:.1} W -> GreenDIMM saves {:.0}%",
         conventional,

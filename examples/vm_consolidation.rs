@@ -44,10 +44,7 @@ fn main() {
     let model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
     let light = ActivityProfile::busy(0.15);
     let before = model.analytic_power_w(&light, &PowerGating::none());
-    let after = model.analytic_power_w(
-        &light,
-        &PowerGating::deep_pd(out.mean_deep_pd_fraction()),
-    );
+    let after = model.analytic_power_w(&light, &PowerGating::deep_pd(out.mean_deep_pd_fraction()));
     println!(
         "\nmean off-line blocks : {:.0} / 256",
         out.mean_offline_blocks()
@@ -59,6 +56,8 @@ fn main() {
     );
     println!(
         "hotplug              : {} offline / {} online events, {} failures",
-        out.daemon.offline_events, out.daemon.online_events, out.daemon.failures()
+        out.daemon.offline_events,
+        out.daemon.online_events,
+        out.daemon.failures()
     );
 }

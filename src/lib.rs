@@ -13,6 +13,7 @@
 //! * [`workloads`] — benchmark profiles, trace generators, and the Azure VM
 //!   trace synthesizer.
 //! * [`baselines`] — self-refresh-only, RAMZzz, and PASR governors.
+//! * [`verify`] — the cross-crate invariant checker and determinism gate.
 //! * [`core`] — the GreenDIMM daemon and full-system co-simulation.
 //!
 //! # Quickstart
@@ -32,5 +33,6 @@ pub use gd_ksm as ksm;
 pub use gd_mmsim as mmsim;
 pub use gd_power as power;
 pub use gd_types as types;
+pub use gd_verify as verify;
 pub use gd_workloads as workloads;
 pub use greendimm as core;

@@ -25,9 +25,8 @@ fn interleaving_defeats_rank_granularity_power_management() {
     let cfg = DramConfig::small_test();
     let p = small_profile();
     let run = |mode| {
-        let mut sys =
-            MemorySystem::new(cfg.with_interleave(mode), LowPowerPolicy::srf_default())
-                .expect("config");
+        let mut sys = MemorySystem::new(cfg.with_interleave(mode), LowPowerPolicy::srf_default())
+            .expect("config");
         let mut gen = TraceGenerator::new(p.clone(), 3);
         sys.run_trace(gen.take(6_000)).expect("trace")
     };
@@ -41,15 +40,20 @@ fn interleaving_defeats_rank_granularity_power_management() {
 /// rank/bank-granularity baselines are stuck at (or above) srf_only.
 #[test]
 fn only_greendimm_saves_energy_under_interleaving() {
-    let rows = evaluate_app(&small_profile(), DramConfig::small_test(), 6_000, 1)
-        .expect("energy");
+    let rows = evaluate_app(&small_profile(), DramConfig::small_test(), 6_000, 1).expect("energy");
     let srf = find_row(&rows, "srf_only", true).expect("cell").dram_norm;
     let rz = find_row(&rows, "RAMZzz", true).expect("cell").dram_norm;
     let pasr = find_row(&rows, "PASR", true).expect("cell").dram_norm;
     let gd = find_row(&rows, "GreenDIMM", true).expect("cell").dram_norm;
     assert!(gd < srf * 0.85, "GreenDIMM {gd} vs srf {srf}");
-    assert!(rz >= srf * 0.98, "RAMZzz cannot beat srf_only w/ interleaving");
-    assert!(pasr >= srf * 0.98, "PASR cannot beat srf_only w/ interleaving");
+    assert!(
+        rz >= srf * 0.98,
+        "RAMZzz cannot beat srf_only w/ interleaving"
+    );
+    assert!(
+        pasr >= srf * 0.98,
+        "PASR cannot beat srf_only w/ interleaving"
+    );
     assert!(gd < rz && gd < pasr);
 }
 

@@ -1,84 +1,105 @@
-//! Property-based tests on the core data structures and invariants,
-//! spanning crates.
+//! Property-style tests on the core data structures and invariants,
+//! spanning crates. Inputs are driven by the workspace's seeded RNG
+//! (deterministic across runs) instead of an external property-testing
+//! framework: each test sweeps a few hundred generated cases.
 
 use greendimm_suite::core::GroupMap;
 use greendimm_suite::dram::AddressMapper;
 use greendimm_suite::mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind, MAX_ORDER};
 use greendimm_suite::types::config::{DramConfig, InterleaveMode};
 use greendimm_suite::types::ids::SubArrayGroup;
-use proptest::prelude::*;
+use greendimm_suite::types::rng::component_rng;
 
-fn arb_mode() -> impl Strategy<Value = InterleaveMode> {
-    prop_oneof![
-        Just(InterleaveMode::Interleaved),
-        Just(InterleaveMode::InterleavedXor),
-        Just(InterleaveMode::Linear),
-    ]
-}
+const MODES: [InterleaveMode; 3] = [
+    InterleaveMode::Interleaved,
+    InterleaveMode::InterleavedXor,
+    InterleaveMode::Linear,
+];
 
-proptest! {
-    /// Address decode/encode is a bijection for every interleave mode.
-    #[test]
-    fn addrmap_roundtrip(mode in arb_mode(), raw in any::<u64>()) {
+/// Address decode/encode is a bijection for every interleave mode.
+#[test]
+fn addrmap_roundtrip() {
+    let mut rng = component_rng(1, "prop-addrmap");
+    for mode in MODES {
         let cfg = DramConfig::small_test().with_interleave(mode);
         let mapper = AddressMapper::new(&cfg).unwrap();
-        let addr = (raw % mapper.capacity_bytes()) & !63;
-        let coord = mapper.decode(addr).unwrap();
-        prop_assert_eq!(mapper.encode(&coord).unwrap(), addr);
+        for _ in 0..500 {
+            let addr = (rng.next_u64() % mapper.capacity_bytes()) & !63;
+            let coord = mapper.decode(addr).unwrap();
+            assert_eq!(mapper.encode(&coord).unwrap(), addr, "{mode:?} {addr:#x}");
+        }
     }
+}
 
-    /// Under interleaving, the sub-array group of an address is exactly its
-    /// position in the top-level split of the address space.
-    #[test]
-    fn subarray_group_is_address_prefix(raw in any::<u64>()) {
-        let cfg = DramConfig::small_test();
-        let mapper = AddressMapper::new(&cfg).unwrap();
-        let addr = raw % mapper.capacity_bytes();
-        let group_bytes = mapper.capacity_bytes() / mapper.subarray_groups() as u64;
-        prop_assert_eq!(
+/// Under interleaving, the sub-array group of an address is exactly its
+/// position in the top-level split of the address space.
+#[test]
+fn subarray_group_is_address_prefix() {
+    let mut rng = component_rng(2, "prop-subarray");
+    let cfg = DramConfig::small_test();
+    let mapper = AddressMapper::new(&cfg).unwrap();
+    let group_bytes = mapper.capacity_bytes() / mapper.subarray_groups() as u64;
+    for _ in 0..1000 {
+        let addr = rng.next_u64() % mapper.capacity_bytes();
+        assert_eq!(
             mapper.subarray_group_of(addr).unwrap().0 as u64,
-            addr / group_bytes
+            addr / group_bytes,
+            "{addr:#x}"
         );
     }
+}
 
-    /// The buddy allocator conserves pages and never double-allocates
-    /// across arbitrary alloc/free sequences.
-    #[test]
-    fn buddy_invariants(ops in proptest::collection::vec(0u8..=MAX_ORDER, 1..60)) {
+/// The buddy allocator conserves pages and never double-allocates across
+/// arbitrary alloc/free sequences.
+#[test]
+fn buddy_invariants() {
+    let mut rng = component_rng(3, "prop-buddy");
+    for case in 0..50 {
         let total = 1u32 << 14;
         let mut buddy = BuddyAllocator::new(total);
         let mut live: Vec<(u32, u8)> = Vec::new();
-        for (i, order) in ops.iter().enumerate() {
+        let ops = rng.gen_range(1usize..60);
+        for i in 0..ops {
+            let order = rng.gen_range(0u32..u32::from(MAX_ORDER) + 1) as u8;
             if i % 3 == 2 && !live.is_empty() {
                 let (off, o) = live.swap_remove(i % live.len());
                 buddy.free(off, o);
-            } else if let Some(off) = buddy.alloc(*order) {
+            } else if let Some(off) = buddy.alloc(order) {
                 // No overlap with any live chunk.
                 let len = 1u32 << order;
                 for (o2, ord2) in &live {
                     let len2 = 1u32 << ord2;
-                    prop_assert!(off + len <= *o2 || o2 + len2 <= off,
-                        "overlap: ({off},{len}) vs ({o2},{len2})");
+                    assert!(
+                        off + len <= *o2 || o2 + len2 <= off,
+                        "case {case}: overlap ({off},{len}) vs ({o2},{len2})"
+                    );
                 }
-                live.push((off, *order));
+                live.push((off, order));
             }
             let live_pages: u32 = live.iter().map(|(_, o)| 1u32 << o).sum();
-            prop_assert_eq!(buddy.free_pages() + live_pages, total);
+            assert_eq!(buddy.free_pages() + live_pages, total, "case {case}");
+            buddy.audit().unwrap();
         }
         for (off, o) in live.drain(..) {
             buddy.free(off, o);
         }
-        prop_assert!(buddy.is_empty());
+        assert!(buddy.is_empty(), "case {case}");
     }
+}
 
-    /// The memory manager's meminfo always balances: used + free == online,
-    /// online + offline == installed, across arbitrary alloc/free/hotplug
-    /// sequences.
-    #[test]
-    fn meminfo_always_balances(ops in proptest::collection::vec((0u8..4, 1u64..3000), 1..40)) {
+/// The memory manager's meminfo always balances: used + free == total,
+/// total + offline == installed, across arbitrary alloc/free/hotplug
+/// sequences.
+#[test]
+fn meminfo_always_balances() {
+    let mut rng = component_rng(4, "prop-meminfo");
+    for case in 0..30 {
         let mut mm = MemoryManager::new(MmConfig::small_test()).unwrap();
         let mut allocs = Vec::new();
-        for (kind, arg) in ops {
+        let ops = rng.gen_range(1usize..40);
+        for _ in 0..ops {
+            let kind = rng.gen_range(0u32..4);
+            let arg = rng.gen_range(1u64..3000);
             match kind {
                 0 => {
                     if let Ok(id) = mm.allocate(arg, PageKind::UserMovable) {
@@ -101,38 +122,57 @@ proptest! {
                 }
             }
             let info = mm.meminfo();
-            prop_assert_eq!(info.used_pages + info.free_pages, info.total_pages);
-            prop_assert_eq!(info.total_pages + info.offline_pages, info.installed_pages);
+            assert_eq!(
+                info.used_pages + info.free_pages,
+                info.total_pages,
+                "case {case}"
+            );
+            assert_eq!(
+                info.total_pages + info.offline_pages,
+                info.installed_pages,
+                "case {case}"
+            );
+            mm.audit().unwrap();
         }
     }
+}
 
-    /// Every block belongs to at least one group and the group->blocks /
-    /// block->groups relations are mutually consistent.
-    #[test]
-    fn groupmap_relations_consistent(block_mib in prop_oneof![Just(64u64), Just(128), Just(256), Just(512)]) {
+/// Every block belongs to at least one group and the group->blocks /
+/// block->groups relations are mutually consistent.
+#[test]
+fn groupmap_relations_consistent() {
+    for block_mib in [64u64, 128, 256, 512] {
         let managed = 8u64 << 30;
         let map = GroupMap::new(managed, 64, block_mib << 20).unwrap();
         for b in 0..map.blocks() {
             for g in map.groups_of_block(b).unwrap() {
-                prop_assert!(map.blocks_of_group(g).unwrap().contains(&b));
+                assert!(
+                    map.blocks_of_group(g).unwrap().contains(&b),
+                    "{block_mib} MiB"
+                );
             }
         }
         for g in 0..map.groups() {
             let group = SubArrayGroup::new(g);
             for b in map.blocks_of_group(group).unwrap() {
-                prop_assert!(map.groups_of_block(b).unwrap().contains(&group));
+                assert!(
+                    map.groups_of_block(b).unwrap().contains(&group),
+                    "{block_mib} MiB"
+                );
             }
         }
     }
+}
 
-    /// A fully-off-lined flag vector puts every group in deep power-down;
-    /// an all-on-line vector puts none.
-    #[test]
-    fn groupmap_offline_extremes(block_mib in prop_oneof![Just(128u64), Just(256), Just(512)]) {
+/// A fully-off-lined flag vector puts every group in deep power-down; an
+/// all-on-line vector puts none.
+#[test]
+fn groupmap_offline_extremes() {
+    for block_mib in [128u64, 256, 512] {
         let map = GroupMap::new(8 << 30, 64, block_mib << 20).unwrap();
         let all_off = vec![true; map.blocks()];
-        prop_assert!(map.fully_offline_groups(&all_off).iter().all(|x| *x));
+        assert!(map.fully_offline_groups(&all_off).iter().all(|x| *x));
         let all_on = vec![false; map.blocks()];
-        prop_assert!(map.fully_offline_groups(&all_on).iter().all(|x| !*x));
+        assert!(map.fully_offline_groups(&all_on).iter().all(|x| !*x));
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification gate for the GreenDIMM reproduction workspace.
+# Every step must pass; the first failure aborts with a nonzero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --quiet
+
+echo "==> cargo test --workspace"
+cargo test --quiet --workspace
+
+echo "==> detlint (determinism scan)"
+cargo run --quiet -p gd-verify --bin detlint
+
+echo "==> all checks passed"
