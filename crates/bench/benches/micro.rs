@@ -6,7 +6,7 @@
 //! time is the point — so the `Instant` uses carry `detlint: allow`
 //! annotations and a scoped clippy allow.
 
-use gd_dram::{AddressMapper, LowPowerPolicy, MemRequest, MemorySystem};
+use gd_dram::{AddressMapper, EngineMode, LowPowerPolicy, MemRequest, MemorySystem};
 use gd_mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind};
 use gd_types::config::DramConfig;
 use std::hint::black_box;
@@ -78,9 +78,67 @@ fn bench_hotplug() {
     });
 }
 
+/// Long idle horizon with the default idle-timeout governor: the
+/// event-driven engine should jump between refresh deadlines instead of
+/// stepping 1M cycles.
+fn bench_fastforward_idle() {
+    for (tag, mode) in [
+        ("stepped", EngineMode::Stepped),
+        ("event", EngineMode::EventDriven),
+    ] {
+        bench(&format!("dram/idle_1M_{tag}"), || {
+            let mut sys =
+                MemorySystem::new(DramConfig::small_test(), LowPowerPolicy::srf_default())
+                    .unwrap()
+                    .with_engine_mode(mode);
+            black_box(sys.run_idle(1_000_000));
+        });
+    }
+}
+
+/// Refresh-heavy idle horizon with low-power states disabled: every rank
+/// stays in standby, so tREFI deadlines are the only events and the
+/// fast-forward path jumps a full refresh interval at a time.
+fn bench_fastforward_refresh() {
+    for (tag, mode) in [
+        ("stepped", EngineMode::Stepped),
+        ("event", EngineMode::EventDriven),
+    ] {
+        bench(&format!("dram/refresh_1M_{tag}"), || {
+            let mut sys = MemorySystem::new(DramConfig::small_test(), LowPowerPolicy::disabled())
+                .unwrap()
+                .with_engine_mode(mode);
+            black_box(sys.run_idle(1_000_000));
+        });
+    }
+}
+
+/// Sparse periodic trace with an aggressive governor: ranks keep cycling
+/// standby -> power-down -> wake, so the fast-forward path must chase the
+/// governor's transition deadlines rather than one long horizon.
+fn bench_fastforward_governor() {
+    for (tag, mode) in [
+        ("stepped", EngineMode::Stepped),
+        ("event", EngineMode::EventDriven),
+    ] {
+        bench(&format!("dram/govcycle_{tag}"), || {
+            let mut sys = MemorySystem::new(DramConfig::small_test(), LowPowerPolicy::aggressive())
+                .unwrap()
+                .with_engine_mode(mode);
+            let reqs: Vec<_> = (0..200u64)
+                .map(|i| MemRequest::read(i * 4096, i * 2000))
+                .collect();
+            black_box(sys.run_trace(reqs).unwrap());
+        });
+    }
+}
+
 fn main() {
     bench_addr_decode();
     bench_buddy();
     bench_controller();
     bench_hotplug();
+    bench_fastforward_idle();
+    bench_fastforward_refresh();
+    bench_fastforward_governor();
 }

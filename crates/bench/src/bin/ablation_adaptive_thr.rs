@@ -1,32 +1,49 @@
 //! Ablation (extension): adaptive off_thr — back off the reserve after
 //! stalls/failures, decay back when quiet. Compare against the fixed 10 %.
+//!
+//! App points fan across the sweep pool (`--jobs N`); timing lands in
+//! `results/BENCH_ablation_adaptive_thr.json`.
 
 use gd_bench::blocks::block_size_experiment;
 use gd_bench::report::{f2, header, pct, row};
+use gd_bench::{timed_sweep, SweepOpts};
 use gd_workloads::spec2006_offlining_set;
 use greendimm::GreenDimmConfig;
 
 fn main() {
+    let sw = SweepOpts::from_args();
+    let profiles = spec2006_offlining_set();
+    let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let results = timed_sweep(
+        "ablation_adaptive_thr",
+        &profiles,
+        &labels,
+        sw.jobs,
+        |_ctx, p| {
+            let fixed = block_size_experiment(p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
+                .expect("co-sim");
+            let adaptive = block_size_experiment(
+                p,
+                128,
+                GreenDimmConfig {
+                    adaptive_off_thr: true,
+                    ..GreenDimmConfig::paper_default()
+                },
+                |c| c,
+                1,
+            )
+            .expect("co-sim");
+            (fixed, adaptive)
+        },
+    );
+
     let widths = [16, 12, 12, 12, 12];
     header(
         "Ablation: fixed vs adaptive off_thr (128 MB blocks)",
         &["app", "fixed GiB", "fixed ovh", "adapt GiB", "adapt ovh"],
         &widths,
     );
-    for p in spec2006_offlining_set() {
-        let fixed = block_size_experiment(&p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-            .expect("co-sim");
-        let adaptive = block_size_experiment(
-            &p,
-            128,
-            GreenDimmConfig {
-                adaptive_off_thr: true,
-                ..GreenDimmConfig::paper_default()
-            },
-            |c| c,
-            1,
-        )
-        .expect("co-sim");
+    for (p, (fixed, adaptive)) in profiles.iter().zip(results) {
         row(
             &[
                 p.name.to_string(),

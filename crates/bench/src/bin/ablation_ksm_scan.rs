@@ -1,36 +1,49 @@
 //! Ablation: KSM scan-rate sweep (§5.3) — pages_to_scan controls how fast
 //! merging converges, trading CPU for reclaimed frames.
+//!
+//! Scan-rate points fan across the sweep pool (`--jobs N`); timing lands
+//! in `results/BENCH_ablation_ksm_scan.json`.
 
 use gd_bench::report::{header, row};
+use gd_bench::{timed_sweep, SweepOpts};
 use gd_ksm::{Ksm, KsmConfig};
 use gd_mmsim::{MemoryManager, MmConfig, PageKind};
 use gd_types::SimTime;
 
 fn main() {
+    let sw = SweepOpts::from_args();
+    let rates = [100u64, 500, 1000, 5000];
+    let labels: Vec<String> = rates.iter().map(|r| format!("pages_to_scan={r}")).collect();
+    let results = timed_sweep(
+        "ablation_ksm_scan",
+        &rates,
+        &labels,
+        sw.jobs,
+        |_ctx, &pages_to_scan| {
+            let mut mm = MemoryManager::new(MmConfig::small_test()).expect("mm");
+            let mut ksm = Ksm::new(KsmConfig {
+                pages_to_scan,
+                ..KsmConfig::default()
+            });
+            let a = mm.allocate(4096, PageKind::UserMovable).expect("alloc");
+            let b = mm.allocate(4096, PageKind::UserMovable).expect("alloc");
+            ksm.register_region(a, vec![(7, 4096)], 0);
+            ksm.register_region(b, vec![(7, 4096)], 0);
+            let at60 = ksm.advance(SimTime::from_secs(60), &mut mm).expect("scan");
+            let more = ksm.advance(SimTime::from_secs(540), &mut mm).expect("scan");
+            (at60, at60 + more)
+        },
+    );
+
     let widths = [14, 14, 16];
     header(
         "Ablation: KSM pages_to_scan sweep (two 4k-page VMs, 60 s)",
         &["pages/scan", "freed @60s", "freed @600s"],
         &widths,
     );
-    for pages_to_scan in [100u64, 500, 1000, 5000] {
-        let mut mm = MemoryManager::new(MmConfig::small_test()).expect("mm");
-        let mut ksm = Ksm::new(KsmConfig {
-            pages_to_scan,
-            ..KsmConfig::default()
-        });
-        let a = mm.allocate(4096, PageKind::UserMovable).expect("alloc");
-        let b = mm.allocate(4096, PageKind::UserMovable).expect("alloc");
-        ksm.register_region(a, vec![(7, 4096)], 0);
-        ksm.register_region(b, vec![(7, 4096)], 0);
-        let at60 = ksm.advance(SimTime::from_secs(60), &mut mm).expect("scan");
-        let more = ksm.advance(SimTime::from_secs(540), &mut mm).expect("scan");
+    for (rate, (at60, at600)) in rates.iter().zip(results) {
         row(
-            &[
-                pages_to_scan.to_string(),
-                at60.to_string(),
-                (at60 + more).to_string(),
-            ],
+            &[rate.to_string(), at60.to_string(), at600.to_string()],
             &widths,
         );
     }

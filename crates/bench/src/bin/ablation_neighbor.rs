@@ -1,16 +1,44 @@
 //! Ablation: the shared-sense-amplifier neighbour constraint (§6.1) — how
 //! much deep power-down residency does requiring buddy groups cost?
+//!
+//! App points fan across the sweep pool (`--jobs N`); timing lands in
+//! `results/BENCH_ablation_neighbor.json`.
 
+use gd_bench::blocks::block_size_experiment;
 use gd_bench::report::{header, pct, row};
-use gd_bench::{run_vm_trace, VmTraceConfig};
+use gd_bench::{run_vm_trace, timed_sweep, SweepOpts, VmTraceConfig};
+use gd_workloads::spec2006_offlining_set;
+use greendimm::GreenDimmConfig;
 
 fn main() {
+    let sw = SweepOpts::from_args();
     // The VM-trace runner uses the paper-default daemon (constraint ON).
     // For the ablation we compare against the same run with the constraint
     // relaxed through the block-size machinery at 8 GB scale.
-    use gd_bench::blocks::block_size_experiment;
-    use gd_workloads::spec2006_offlining_set;
-    use greendimm::GreenDimmConfig;
+    let profiles = spec2006_offlining_set();
+    let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let results = timed_sweep(
+        "ablation_neighbor",
+        &profiles,
+        &labels,
+        sw.jobs,
+        |_ctx, p| {
+            let with = block_size_experiment(p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
+                .expect("co-sim");
+            let without = block_size_experiment(
+                p,
+                128,
+                GreenDimmConfig {
+                    neighbor_constraint: false,
+                    ..GreenDimmConfig::paper_default()
+                },
+                |c| c,
+                1,
+            )
+            .expect("co-sim");
+            (with, without)
+        },
+    );
 
     let widths = [16, 16, 16];
     header(
@@ -18,20 +46,7 @@ fn main() {
         &["app", "deepPD w/ cstr", "deepPD w/o"],
         &widths,
     );
-    for p in spec2006_offlining_set() {
-        let with = block_size_experiment(&p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-            .expect("co-sim");
-        let without = block_size_experiment(
-            &p,
-            128,
-            GreenDimmConfig {
-                neighbor_constraint: false,
-                ..GreenDimmConfig::paper_default()
-            },
-            |c| c,
-            1,
-        )
-        .expect("co-sim");
+    for (p, (with, without)) in profiles.iter().zip(results) {
         // Deep-PD proxy: off-lined capacity is the same; what changes is
         // how much of it may be power-gated. Use the daemon's register
         // state captured in offline capacity terms.

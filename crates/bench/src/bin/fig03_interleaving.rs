@@ -2,37 +2,68 @@
 //! residency, and energy for high-MPKI SPEC CPU2006 benchmarks
 //! (paper: up to 3.8x speedup; 0 % vs ~54 % SR cycles; −26 % energy w/o
 //! interleaving).
+//!
+//! Each app is one sweep point (`--jobs N`, `--requests N` for smoke runs);
+//! timing lands in `results/BENCH_fig03_interleaving.json`.
 
 use gd_bench::energy::{evaluate_app, find_row, measure_app};
 use gd_bench::report::{f2, header, pct, row};
+use gd_bench::{timed_sweep, SweepOpts};
 use gd_types::config::{DramConfig, InterleaveMode};
 use gd_workloads::by_name;
 
+struct Point {
+    app: String,
+    speedup: f64,
+    sr_with: f64,
+    sr_without: f64,
+    energy_ratio: f64,
+}
+
 fn main() {
+    let sw = SweepOpts::from_args();
     let cfg = DramConfig::ddr4_2133_64gb();
     let apps = ["mcf", "soplex", "lbm", "libquantum"];
-    let requests = 25_000;
+    let requests = sw.requests.unwrap_or(25_000);
+    let labels: Vec<String> = apps.iter().map(|a| (*a).to_string()).collect();
+    let points = timed_sweep(
+        "fig03_interleaving",
+        &apps,
+        &labels,
+        sw.jobs,
+        |_ctx, name| {
+            let p = by_name(name).expect("profile");
+            let with =
+                measure_app(&p, cfg, InterleaveMode::Interleaved, requests, 1).expect("cycle sim");
+            let without =
+                measure_app(&p, cfg, InterleaveMode::Linear, requests, 1).expect("cycle sim");
+            let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
+            let e_with = find_row(&rows, "srf_only", true).expect("cell").system_j;
+            let e_without = find_row(&rows, "srf_only", false).expect("cell").system_j;
+            Point {
+                app: p.name.to_string(),
+                speedup: without.runtime_s / with.runtime_s,
+                sr_with: with.sr_fraction,
+                sr_without: without.sr_fraction,
+                energy_ratio: e_without / e_with,
+            }
+        },
+    );
+
     let widths = [16, 9, 11, 11, 13];
     header(
         "Fig. 3: impact of memory interleaving (64 GB, 4ch x 4rank)",
         &["app", "speedup", "SR w/intlv", "SR w/o", "E w/o / E w/"],
         &widths,
     );
-    for name in apps {
-        let p = by_name(name).expect("profile");
-        let with =
-            measure_app(&p, cfg, InterleaveMode::Interleaved, requests, 1).expect("cycle sim");
-        let without = measure_app(&p, cfg, InterleaveMode::Linear, requests, 1).expect("cycle sim");
-        let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
-        let e_with = find_row(&rows, "srf_only", true).expect("cell").system_j;
-        let e_without = find_row(&rows, "srf_only", false).expect("cell").system_j;
+    for p in points {
         row(
             &[
-                p.name.to_string(),
-                format!("{:.2}x", without.runtime_s / with.runtime_s),
-                pct(with.sr_fraction),
-                pct(without.sr_fraction),
-                f2(e_without / e_with),
+                p.app,
+                format!("{:.2}x", p.speedup),
+                pct(p.sr_with),
+                pct(p.sr_without),
+                f2(p.energy_ratio),
             ],
             &widths,
         );

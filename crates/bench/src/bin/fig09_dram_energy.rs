@@ -2,20 +2,36 @@
 //! policies under both interleave modes (paper: GreenDIMM reduces DRAM
 //! energy 38 % for SPEC and 60 % for data-center workloads on average,
 //! and beats RAMZzz/PASR by ~49 pp when interleaving is on).
+//!
+//! Every app is an independent sweep point; `--jobs N` fans them across a
+//! worker pool (`--jobs 1` reproduces the serial path bit-for-bit) and the
+//! wall-clock profile lands in `results/BENCH_fig09_dram_energy.json`.
 
 use gd_bench::energy::{evaluate_app_opts, MeasureOpts};
 use gd_bench::report::{f2, header, row};
+use gd_bench::{timed_sweep, SweepOpts};
 use gd_types::config::DramConfig;
 use gd_types::stats::geomean;
 use gd_workloads::energy_figure_set;
 
 fn main() {
     let opts = MeasureOpts::from_args();
+    let sw = SweepOpts::from_args();
     if opts.strict_validate {
         println!("[strict-validate: protocol + governor invariants enforced]");
     }
     let cfg = DramConfig::ddr4_2133_64gb();
-    let requests = 20_000;
+    let requests = sw.requests.unwrap_or(20_000);
+    let profiles = energy_figure_set();
+    let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let results = timed_sweep(
+        "fig09_dram_energy",
+        &profiles,
+        &labels,
+        sw.jobs,
+        |_ctx, p| evaluate_app_opts(p, cfg, requests, 1, opts),
+    );
+
     let widths = [16, 9, 9, 9, 9, 9, 9, 9, 9];
     header(
         "Fig. 9: normalized DRAM energy (baseline = w/o intlv, srf_only)",
@@ -26,8 +42,8 @@ fn main() {
     );
     println!("('-' = w/o interleaving, '+' = w/ interleaving)");
     let mut gd_norms = Vec::new();
-    for p in energy_figure_set() {
-        let rows = evaluate_app_opts(&p, cfg, requests, 1, opts).expect("energy");
+    for (p, rows) in profiles.iter().zip(results) {
+        let rows = rows.expect("energy");
         let cell = |policy: &str, intlv: bool| {
             gd_bench::find_row(&rows, policy, intlv)
                 .map(|r| r.dram_norm)

@@ -1,20 +1,35 @@
 //! Fig. 10: system energy, same matrix as Fig. 9 (paper: GreenDIMM reduces
 //! system energy by 26 % for SPEC and 30 % for data-center workloads; only
 //! GreenDIMM helps when interleaving is on).
+//!
+//! Apps fan across the sweep pool (`--jobs N`); timing lands in
+//! `results/BENCH_fig10_system_energy.json`.
 
 use gd_bench::energy::{evaluate_app_opts, MeasureOpts};
 use gd_bench::report::{f2, header, row};
+use gd_bench::{timed_sweep, SweepOpts};
 use gd_types::config::DramConfig;
 use gd_types::stats::geomean;
 use gd_workloads::energy_figure_set;
 
 fn main() {
     let opts = MeasureOpts::from_args();
+    let sw = SweepOpts::from_args();
     if opts.strict_validate {
         println!("[strict-validate: protocol + governor invariants enforced]");
     }
     let cfg = DramConfig::ddr4_2133_64gb();
-    let requests = 20_000;
+    let requests = sw.requests.unwrap_or(20_000);
+    let profiles = energy_figure_set();
+    let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let results = timed_sweep(
+        "fig10_system_energy",
+        &profiles,
+        &labels,
+        sw.jobs,
+        |_ctx, p| evaluate_app_opts(p, cfg, requests, 1, opts),
+    );
+
     let widths = [16, 9, 9, 9, 9, 9, 9, 9, 9];
     header(
         "Fig. 10: normalized system energy (baseline = w/o intlv, srf_only)",
@@ -25,8 +40,8 @@ fn main() {
     );
     println!("('-' = w/o interleaving, '+' = w/ interleaving)");
     let mut gd_norms = Vec::new();
-    for p in energy_figure_set() {
-        let rows = evaluate_app_opts(&p, cfg, requests, 1, opts).expect("energy");
+    for (p, rows) in profiles.iter().zip(results) {
+        let rows = rows.expect("energy");
         let cell = |policy: &str, intlv: bool| {
             gd_bench::find_row(&rows, policy, intlv)
                 .map(|r| r.system_norm)

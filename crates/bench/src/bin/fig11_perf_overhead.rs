@@ -1,20 +1,45 @@
 //! Fig. 11: execution-time increase by GreenDIMM across all workloads
 //! (paper: gcc variants worst at <3 %, everything else <2 %, and no
 //! visible p95/p99 degradation for the latency-critical services).
+//!
+//! Co-simulation points fan across the sweep pool (`--jobs N`); timing
+//! lands in `results/BENCH_fig11_perf_overhead.json`.
 
 use gd_bench::blocks::{block_size_experiment_verified, nominal_runtime_s};
 use gd_bench::energy::MeasureOpts;
 use gd_bench::report::{header, pct, row};
+use gd_bench::{timed_sweep, SweepOpts};
 use gd_types::stats::percentile;
 use gd_workloads::energy_figure_set;
 use greendimm::GreenDimmConfig;
 
 fn main() {
     let opts = MeasureOpts::from_args();
+    let sw = SweepOpts::from_args();
     let verify = opts.strict_validate.then_some(gd_verify::Mode::Strict);
     if verify.is_some() {
         println!("[strict-validate: co-simulation invariants enforced]");
     }
+    let profiles = energy_figure_set();
+    let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
+    let results = timed_sweep(
+        "fig11_perf_overhead",
+        &profiles,
+        &labels,
+        sw.jobs,
+        |_ctx, p| {
+            block_size_experiment_verified(
+                p,
+                128,
+                GreenDimmConfig::paper_default(),
+                |c| c,
+                1,
+                verify,
+            )
+            .expect("co-sim")
+        },
+    );
+
     let widths = [16, 10, 12];
     header(
         "Fig. 11: execution-time increase by GreenDIMM (1 GB-equivalent blocks)",
@@ -22,16 +47,7 @@ fn main() {
         &widths,
     );
     let mut lc_reports = Vec::new();
-    for p in energy_figure_set() {
-        let r = block_size_experiment_verified(
-            &p,
-            128,
-            GreenDimmConfig::paper_default(),
-            |c| c,
-            1,
-            verify,
-        )
-        .expect("co-sim");
+    for (p, r) in profiles.iter().zip(results) {
         row(
             &[
                 p.name.to_string(),

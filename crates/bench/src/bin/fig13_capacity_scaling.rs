@@ -1,13 +1,42 @@
 //! Fig. 13: DRAM and system power as capacity scales 256 GB → 1 TB with
 //! the same VM load (paper: GreenDIMM −32 %/−9 % at 256 GB rising to
 //! −36 %/−20 % at 1 TB; with KSM −55 %/−30 % at 1 TB).
+//!
+//! Each {capacity × KSM} VM-trace run is one sweep point (`--jobs N`);
+//! timing lands in `results/BENCH_fig13_capacity_scaling.json`.
 
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{run_vm_trace, VmTraceConfig};
+use gd_bench::{run_vm_trace, timed_sweep, SweepOpts, VmTraceConfig};
 use gd_power::{ActivityProfile, DramPowerModel, PowerGating, SystemPowerModel};
 use gd_types::config::DramConfig;
 
 fn main() {
+    let sw = SweepOpts::from_args();
+    let caps = [256u64, 512, 768, 1024];
+    // One point per {capacity, ksm} pair; results stitched back per capacity.
+    let points: Vec<(u64, bool)> = caps
+        .iter()
+        .flat_map(|&cap| [(cap, false), (cap, true)])
+        .collect();
+    let labels: Vec<String> = points
+        .iter()
+        .map(|(cap, ksm)| format!("{cap}G{}", if *ksm { "+ksm" } else { "" }))
+        .collect();
+    let runs = timed_sweep(
+        "fig13_capacity_scaling",
+        &points,
+        &labels,
+        sw.jobs,
+        |_ctx, &(cap_gb, ksm)| {
+            let cfg = VmTraceConfig {
+                capacity_gb: cap_gb,
+                ksm,
+                ..VmTraceConfig::paper_256gb()
+            };
+            run_vm_trace(&cfg).expect("vm trace")
+        },
+    );
+
     let widths = [9, 9, 9, 9, 9, 10, 10, 10, 10];
     header(
         "Fig. 13: DRAM/system power vs. capacity (24 h VM trace)",
@@ -23,13 +52,9 @@ fn main() {
     let activity = ActivityProfile::busy(0.15);
     let p256 = base_model.analytic_power_w(&activity, &PowerGating::none());
 
-    for cap_gb in [256u64, 512, 768, 1024] {
-        let cfg = VmTraceConfig {
-            capacity_gb: cap_gb,
-            ..VmTraceConfig::paper_256gb()
-        };
-        let run = run_vm_trace(&cfg).expect("vm trace");
-        let ksm_run = run_vm_trace(&VmTraceConfig { ksm: true, ..cfg }).expect("vm trace");
+    for (i, &cap_gb) in caps.iter().enumerate() {
+        let run = &runs[2 * i];
+        let ksm_run = &runs[2 * i + 1];
         // Linear capacity scaling of the conventional power (same model the
         // paper fits to its 256 GB measurement).
         let scale = cap_gb as f64 / 256.0;

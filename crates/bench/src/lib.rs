@@ -13,8 +13,10 @@
 pub mod blocks;
 pub mod energy;
 pub mod report;
+pub mod sweep;
 pub mod vmtrace;
 
 pub use blocks::{block_size_experiment, BlockSizeRow, MANAGED_BYTES};
 pub use energy::{evaluate_app, find_row, measure_app, AppMeasurement, EnergyRow};
+pub use sweep::{default_jobs, sweep, timed_sweep, PointCtx, SweepOpts, SweepTiming};
 pub use vmtrace::{run_vm_trace, VmTraceConfig, VmTraceOutcome, VmTraceSample};

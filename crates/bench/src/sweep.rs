@@ -1,0 +1,329 @@
+//! Deterministic parallel sweep engine for the figure/table binaries.
+//!
+//! Every evaluation figure is an embarrassingly-parallel sweep over
+//! independent {workload × policy × interleave} points: each point builds
+//! its own [`gd_dram::MemorySystem`] (or co-simulation) from a config and a
+//! seed, so points share no mutable state and can fan out across a worker
+//! pool. Determinism is preserved by construction:
+//!
+//! * each point's seed comes from [`gd_types::rng::sweep_point_seed`] — a
+//!   pure function of the experiment seed and the point *index*, never of
+//!   the thread that ran it;
+//! * workers pull indices from a shared atomic counter but collect results
+//!   locally and the harness sorts the merged result set by index, so the
+//!   returned `Vec` (and therefore every printed table) is byte-identical
+//!   for any `--jobs` value and any thread schedule.
+//!
+//! The pool is built on `std::thread::scope` — the workspace is
+//! dependency-free, so there is no rayon/crossbeam to lean on — and
+//! `--jobs 1` short-circuits to a plain serial loop, reproducing the
+//! pre-sweep execution path exactly.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Context handed to the closure evaluating one sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct PointCtx {
+    /// Zero-based index of this point in the sweep's point list.
+    pub index: usize,
+}
+
+impl PointCtx {
+    /// The point's derived seed under the given experiment seed (see
+    /// [`gd_types::rng::sweep_point_seed`]).
+    pub fn seed(&self, experiment_seed: u64) -> u64 {
+        gd_types::rng::sweep_point_seed(experiment_seed, self.index)
+    }
+}
+
+/// Shared command-line options of the sweep-driven figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOpts {
+    /// Worker threads (`--jobs N` / `GD_JOBS`); defaults to the machine's
+    /// available parallelism. `1` runs the plain serial path.
+    pub jobs: usize,
+    /// Optional request-count override (`--requests N`) for smoke runs;
+    /// `None` keeps each figure's paper-scale default.
+    pub requests: Option<usize>,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            jobs: default_jobs(),
+            requests: None,
+        }
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl SweepOpts {
+    /// Parses `--jobs N` and `--requests N` from the process arguments
+    /// (also honoring a `GD_JOBS` environment override), ignoring flags it
+    /// does not know about so it composes with `MeasureOpts::from_args`.
+    pub fn from_args() -> Self {
+        let mut opts = SweepOpts::default();
+        if let Ok(j) = std::env::var("GD_JOBS") {
+            if let Ok(j) = j.parse::<usize>() {
+                opts.jobs = j.max(1);
+            }
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let value_of = |k: usize| args.get(k + 1).and_then(|v| v.parse::<usize>().ok());
+            match args[i].as_str() {
+                "--jobs" => {
+                    if let Some(j) = value_of(i) {
+                        opts.jobs = j.max(1);
+                        i += 1;
+                    }
+                }
+                "--requests" => {
+                    if let Some(r) = value_of(i) {
+                        opts.requests = Some(r.max(1));
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Runs `f` over every point, fanning across `jobs` workers, and returns
+/// the results **in point order** regardless of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (after the scope joins).
+pub fn sweep<T, R, F>(points: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(PointCtx, &T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, points.len().max(1));
+    if jobs == 1 {
+        // Today's serial path, bit for bit: same iteration order, no pool.
+        return points
+            .iter()
+            .enumerate()
+            .map(|(index, p)| f(PointCtx { index }, p))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(points.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = points.get(index) else {
+                        break;
+                    };
+                    local.push((index, f(PointCtx { index }, point)));
+                }
+                merged
+                    .lock()
+                    .expect("sweep result mutex poisoned")
+                    .append(&mut local);
+            });
+        }
+    });
+    let mut results = merged
+        .into_inner()
+        .expect("sweep result mutex poisoned after join");
+    // Completion order depends on the thread schedule; point order must not.
+    results.sort_by_key(|(index, _)| *index);
+    debug_assert!(
+        results
+            .iter()
+            .enumerate()
+            .all(|(k, (index, _))| k == *index),
+        "sweep lost or duplicated a point"
+    );
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One timed point of a [`timed_sweep`] run.
+#[derive(Debug, Clone)]
+pub struct PointTiming {
+    /// Human-readable point label (row key of the figure).
+    pub label: String,
+    /// Wall-clock seconds this point took on its worker.
+    pub seconds: f64,
+}
+
+/// Machine-readable timing record of one figure regeneration, written to
+/// `results/BENCH_<fig>.json` so the performance trajectory is tracked
+/// across PRs.
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// Figure binary name (e.g. `fig09_dram_energy`).
+    pub fig: String,
+    /// Worker-pool width the sweep ran with.
+    pub jobs: usize,
+    /// Total wall-clock seconds for the whole sweep.
+    pub total_s: f64,
+    /// Per-point wall-clock timings, in point order.
+    pub points: Vec<PointTiming>,
+}
+
+impl SweepTiming {
+    /// Serializes to JSON (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"fig\": \"{}\",\n", escape(&self.fig)));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"total_s\": {:.6},\n", self.total_s));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 == self.points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"seconds\": {:.6}}}{comma}\n",
+                escape(&p.label),
+                p.seconds
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `results/BENCH_<fig>.json` under the workspace root; prints a
+    /// warning (but does not fail the figure) if the write is impossible.
+    pub fn write(&self) {
+        let path = results_dir().join(format!("BENCH_{}.json", self.fig));
+        let payload = self.to_json();
+        let write = std::fs::create_dir_all(path.parent().expect("results dir has a parent"))
+            .and_then(|()| {
+                std::fs::File::create(&path).and_then(|mut f| f.write_all(payload.as_bytes()))
+            });
+        match write {
+            Ok(()) => println!("[timing -> {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn results_dir() -> PathBuf {
+    // crates/bench -> workspace root -> results/.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .join("results")
+}
+
+/// [`sweep`] plus wall-clock accounting: times every point and the whole
+/// run, writes `results/BENCH_<fig>.json`, and returns the results in point
+/// order. The labels slice must parallel `points`.
+///
+/// This is the one sweep entry point allowed to read the wall clock — the
+/// timing sidecar is *about* wall time and never feeds back into any
+/// simulated result.
+#[allow(clippy::disallowed_methods)] // wall-time measurement is the point
+pub fn timed_sweep<T, R, F>(fig: &str, points: &[T], labels: &[String], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(PointCtx, &T) -> R + Sync,
+{
+    assert_eq!(points.len(), labels.len(), "one label per sweep point");
+    let t0 = Instant::now(); // detlint: allow(instant)
+    let timed: Vec<(R, f64)> = sweep(points, jobs, |ctx, p| {
+        let p0 = Instant::now(); // detlint: allow(instant)
+        let r = f(ctx, p);
+        (r, p0.elapsed().as_secs_f64())
+    });
+    let total_s = t0.elapsed().as_secs_f64();
+    let (results, seconds): (Vec<R>, Vec<f64>) = timed.into_iter().unzip();
+    SweepTiming {
+        fig: fig.to_string(),
+        jobs: jobs.clamp(1, points.len().max(1)),
+        total_s,
+        points: labels
+            .iter()
+            .zip(seconds)
+            .map(|(label, seconds)| PointTiming {
+                label: label.clone(),
+                seconds,
+            })
+            .collect(),
+    }
+    .write();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let points: Vec<u64> = (0..37).collect();
+        let f = |ctx: PointCtx, p: &u64| (ctx.index as u64) * 1000 + p * 3 + ctx.seed(9) % 7;
+        let serial = sweep(&points, 1, f);
+        for jobs in [2, 3, 8] {
+            assert_eq!(sweep(&points, jobs, f), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn point_seeds_do_not_depend_on_jobs() {
+        let points: Vec<u32> = (0..16).collect();
+        let seeds1 = sweep(&points, 1, |ctx, _| ctx.seed(42));
+        let seeds4 = sweep(&points, 4, |ctx, _| ctx.seed(42));
+        assert_eq!(seeds1, seeds4);
+        assert_eq!(seeds1[0], gd_types::rng::sweep_point_seed(42, 0));
+    }
+
+    #[test]
+    fn empty_and_single_point_sweeps() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(sweep(&empty, 4, |_, p| *p).is_empty());
+        assert_eq!(sweep(&[5u8], 4, |_, p| *p * 2), vec![10]);
+    }
+
+    #[test]
+    fn json_payload_shape() {
+        let t = SweepTiming {
+            fig: "fig99_test".into(),
+            jobs: 2,
+            total_s: 1.5,
+            points: vec![PointTiming {
+                label: "a\"b".into(),
+                seconds: 0.25,
+            }],
+        };
+        let j = t.to_json();
+        assert!(j.contains("\"fig\": \"fig99_test\""));
+        assert!(j.contains("\"jobs\": 2"));
+        assert!(j.contains("a\\\"b"));
+        assert!(j.ends_with("}\n"));
+    }
+}

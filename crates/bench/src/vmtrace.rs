@@ -5,7 +5,7 @@ use gd_mmsim::{AllocationId, MemoryManager, MmConfig, PageKind};
 use gd_types::{Result, SimTime};
 use gd_workloads::azure::{synthesize, AzureConfig, VmEventKind};
 use greendimm::{Daemon, DaemonStats, EpochSim, FootprintDriver, GreenDimmConfig, GroupMap};
-use std::collections::HashMap;
+use std::collections::HashMap; // detlint: allow(maporder)
 
 /// Configuration of one VM-trace run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,8 +146,10 @@ pub fn run_vm_trace(cfg: &VmTraceConfig) -> Result<VmTraceOutcome> {
     let ksm = cfg.ksm.then(|| Ksm::new(KsmConfig::default()));
     let mut sim = EpochSim::new(mm, daemon, ksm);
 
-    let mut footprints: HashMap<u32, (FootprintDriver, Option<RegionId>, AllocationId)> =
-        HashMap::new();
+    // Keyed lookups only (insert/remove by VM id) — never iterated, so the
+    // hash order cannot reach any output.
+    let mut footprints: HashMap<u32, (FootprintDriver, Option<RegionId>, AllocationId)> = // detlint: allow(maporder)
+        HashMap::new(); // detlint: allow(maporder)
     let mut samples = Vec::new();
     let mut event_idx = 0;
     let tick = azure.schedule_period_s;

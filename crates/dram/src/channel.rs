@@ -34,6 +34,9 @@ pub(crate) struct ChannelCtrl {
     ranks: Vec<RankCtl>,
     banks: Vec<BankState>,
     queue: Vec<PendingRequest>,
+    /// Queued-request count per rank; keeps `queue_has_rank` O(1) (it is
+    /// consulted per rank by the governor and `next_event` on every poll).
+    queued_per_rank: Vec<u32>,
     /// Data bus busy until this cycle.
     bus_free_at: u64,
     /// Channel-wide earliest next column command (tCCD_S).
@@ -75,6 +78,7 @@ impl ChannelCtrl {
             ranks,
             banks: vec![BankState::default(); ranks_n * banks_per_rank],
             queue: Vec::new(),
+            queued_per_rank: vec![0; ranks_n],
             bus_free_at: 0,
             next_col_any: 0,
             next_col_bg: vec![0; ranks_n * org.bank_groups as usize],
@@ -145,6 +149,7 @@ impl ChannelCtrl {
     pub fn enqueue(&mut self, mut pending: PendingRequest, now: u64) {
         let rank = pending.coord.rank.index();
         self.ranks[rank].idle_since = now;
+        self.queued_per_rank[rank] += 1;
         pending.enqueued_at = now;
         pending.phase = RequestPhase::NeedsActivate;
         self.queue.push(pending);
@@ -162,7 +167,7 @@ impl ChannelCtrl {
     }
 
     fn queue_has_rank(&self, rank: usize) -> bool {
-        self.queue.iter().any(|p| p.coord.rank.index() == rank)
+        self.queued_per_rank[rank] > 0
     }
 
     fn refresh_due(&self, rank: usize, now: u64) -> bool {
@@ -324,6 +329,7 @@ impl ChannelCtrl {
     fn issue_column_at(&mut self, qi: usize, now: u64) {
         let p = self.queue.remove(qi);
         let ri = p.coord.rank.index();
+        self.queued_per_rank[ri] -= 1;
         let bg = p.coord.bank_group.index();
         let bidx = self.bank_idx(ri, bg, p.coord.bank.index());
         let t = self.timing;

@@ -5,7 +5,11 @@ use gd_types::stats::Summary;
 
 /// Command and event counts plus residency, for one full run of the memory
 /// system. Everything the IDD power model needs to integrate energy.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every counter and residency bucket exactly — the
+/// engine-equivalence suite relies on it to prove the event-driven fast
+/// path bit-identical to per-cycle stepping.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total simulated memory-clock cycles.
     pub cycles: u64,

@@ -10,6 +10,30 @@ use gd_types::config::DramConfig;
 use gd_types::ids::SubArrayGroup;
 use gd_types::{GdError, Result};
 
+/// How the run loops advance simulated time.
+///
+/// Both modes produce bit-identical [`RunStats`]: every state transition
+/// (command issue, wake-up completion, refresh, governor demotion) lands on
+/// the same cycle either way. `Stepped` is the reference implementation the
+/// equivalence suite checks the fast path against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Reference semantics: poll every channel on every cycle.
+    Stepped,
+    /// Event-driven fast-forward (default): each channel carries an
+    /// *attention time* — the earliest cycle it could possibly act, taken
+    /// from [`ChannelCtrl::next_event`] (queued-request readiness, wake-up
+    /// completion, tREFI deadline, idle-timeout governor deadline). Channels
+    /// whose attention time lies in the future are skipped, and when no
+    /// channel made progress the clock jumps straight to the next horizon
+    /// (minimum attention time or next request arrival) instead of stepping
+    /// cycle by cycle. Per-state residency needs no special casing: it is
+    /// integrated at transition boundaries, which both modes hit on
+    /// identical cycles.
+    #[default]
+    EventDriven,
+}
+
 /// A simulated multi-channel DDR4 memory system.
 ///
 /// The system exposes GreenDIMM's hardware interface: a bit-vector register
@@ -25,6 +49,10 @@ pub struct MemorySystem {
     mapper: AddressMapper,
     channels: Vec<ChannelCtrl>,
     clock: u64,
+    mode: EngineMode,
+    /// Earliest cycle each channel could act (EventDriven mode only); a
+    /// value `<= clock` means the channel must be polled.
+    attention: Vec<u64>,
     group_pd: Vec<bool>,
     group_pd_since: Vec<u64>,
     group_pd_cycles: Vec<u64>,
@@ -43,15 +71,37 @@ impl MemorySystem {
             .map(|i| ChannelCtrl::with_index(&cfg, policy, i))
             .collect();
         let groups = cfg.org.subarray_groups() as usize;
+        let n_channels = cfg.org.channels as usize;
         Ok(MemorySystem {
             cfg,
             mapper,
             channels,
             clock: 0,
+            mode: EngineMode::default(),
+            attention: vec![0; n_channels],
             group_pd: vec![false; groups],
             group_pd_since: vec![0; groups],
             group_pd_cycles: vec![0; groups],
         })
+    }
+
+    /// Selects the time-advance engine (see [`EngineMode`]).
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.mode = mode;
+        // Force a poll of every channel on the next iteration.
+        self.attention.fill(0);
+    }
+
+    /// Builder form of [`set_engine_mode`](Self::set_engine_mode).
+    #[must_use]
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.set_engine_mode(mode);
+        self
+    }
+
+    /// The active time-advance engine.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
     }
 
     /// The configuration this system was built with.
@@ -178,25 +228,15 @@ impl MemorySystem {
                     break;
                 }
             }
-            let mut progressed = false;
-            for ch in &mut self.channels {
-                if ch.try_issue(self.clock) {
-                    progressed = true;
-                }
-            }
+            let progressed = self.poll_channels();
             let busy = self.channels.iter().any(|c| c.busy());
             if !busy && iter.peek().is_none() {
                 break;
             }
-            if progressed {
+            if progressed || self.mode == EngineMode::Stepped {
                 self.clock += 1;
             } else {
-                let mut next = self
-                    .channels
-                    .iter()
-                    .map(|c| c.next_event(self.clock))
-                    .min()
-                    .unwrap_or(u64::MAX);
+                let mut next = self.next_horizon();
                 if let Some(r) = iter.peek() {
                     next = next.min(r.arrival);
                 }
@@ -209,31 +249,59 @@ impl MemorySystem {
     /// Advances the system with no new traffic for `cycles` cycles
     /// (refresh and the low-power governor keep running), then returns
     /// cumulative statistics. Used for idle-power measurements (Fig. 2).
+    ///
+    /// In [`EngineMode::EventDriven`] a long idle stretch costs one loop
+    /// iteration per *event* (refresh deadline, governor demotion, wake-up)
+    /// rather than one per cycle; once every rank sits in self-refresh the
+    /// remaining horizon is covered in a single jump.
     pub fn run_idle(&mut self, cycles: u64) -> RunStats {
         let target = self.clock + cycles;
         while self.clock < target {
-            let progressed = {
-                let mut p = false;
-                for ch in &mut self.channels {
-                    if ch.try_issue(self.clock) {
-                        p = true;
-                    }
-                }
-                p
-            };
-            if progressed {
+            let progressed = self.poll_channels();
+            if progressed || self.mode == EngineMode::Stepped {
                 self.clock += 1;
             } else {
-                let next = self
-                    .channels
-                    .iter()
-                    .map(|c| c.next_event(self.clock))
-                    .min()
-                    .unwrap_or(u64::MAX);
-                self.clock = next.max(self.clock + 1).min(target);
+                self.clock = self.next_horizon().max(self.clock + 1).min(target);
             }
         }
         self.snapshot_stats()
+    }
+
+    /// Polls channels at the current cycle; returns whether any issued a
+    /// command or power transition. In event-driven mode only channels whose
+    /// attention time has arrived are visited, and each visit refreshes that
+    /// channel's attention time from [`ChannelCtrl::next_event`].
+    fn poll_channels(&mut self) -> bool {
+        let now = self.clock;
+        let mut progressed = false;
+        match self.mode {
+            EngineMode::Stepped => {
+                for ch in &mut self.channels {
+                    if ch.try_issue(now) {
+                        progressed = true;
+                    }
+                }
+            }
+            EngineMode::EventDriven => {
+                for (ch, attn) in self.channels.iter_mut().zip(self.attention.iter_mut()) {
+                    if *attn > now {
+                        continue;
+                    }
+                    if ch.try_issue(now) {
+                        progressed = true;
+                        *attn = now + 1;
+                    } else {
+                        *attn = ch.next_event(now).max(now + 1);
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Earliest cycle any channel needs attention (event-driven mode).
+    fn next_horizon(&self) -> u64 {
+        self.attention.iter().copied().min().unwrap_or(u64::MAX)
     }
 
     fn enqueue(&mut self, req: MemRequest) -> Result<()> {
@@ -247,6 +315,8 @@ impl MemorySystem {
             )));
         }
         let ch = coord.channel.index();
+        // A new arrival can unblock the channel immediately.
+        self.attention[ch] = self.clock;
         self.channels[ch].enqueue(
             PendingRequest {
                 req,

@@ -146,6 +146,32 @@ pub fn component_rng(parent_seed: u64, label: &str) -> StdRng {
     rng_from_seed(derive_seed(parent_seed, label))
 }
 
+/// Derives the seed for one point of a parameter sweep.
+///
+/// The sweep harness (`gd_bench::sweep`) hands every point a seed that is a
+/// pure function of the experiment seed and the point's *index* — never of
+/// the worker thread that picked the point up — so fanning a sweep across a
+/// thread pool cannot change any result. Routing the index through
+/// [`derive_seed`]'s label fold also decorrelates adjacent points.
+pub fn sweep_point_seed(parent: u64, index: usize) -> u64 {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(b"sweep-pt");
+    buf[8..16].copy_from_slice(&(index as u64).to_le_bytes());
+    buf[16..].copy_from_slice(&(index as u64).rotate_left(29).to_le_bytes());
+    // The label bytes need not be UTF-8-meaningful; fold them directly.
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ parent.rotate_left(17);
+    for b in buf {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +200,18 @@ mod tests {
     fn derive_is_deterministic() {
         assert_eq!(derive_seed(1, "x"), derive_seed(1, "x"));
         assert_ne!(derive_seed(1, "x"), derive_seed(2, "x"));
+    }
+
+    #[test]
+    fn sweep_point_seeds_are_stable_and_distinct() {
+        assert_eq!(sweep_point_seed(7, 3), sweep_point_seed(7, 3));
+        let seeds: Vec<u64> = (0..64).map(|i| sweep_point_seed(7, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "adjacent sweep points must not share seeds");
+            }
+        }
+        assert_ne!(sweep_point_seed(7, 0), sweep_point_seed(8, 0));
     }
 
     #[test]

@@ -27,6 +27,9 @@ struct Hazard {
     why: &'static str,
     /// Tag accepted in a `detlint: allow(<tag>)` annotation.
     tag: &'static str,
+    /// When set, the hazard only applies to files under this
+    /// workspace-relative prefix; `None` applies everywhere.
+    scope: Option<&'static str>,
 }
 
 const HAZARDS: &[Hazard] = &[
@@ -34,21 +37,37 @@ const HAZARDS: &[Hazard] = &[
         needle: concat!("from_", "entropy"),
         why: "entropy-seeded RNG; seed from the configuration instead",
         tag: "entropy",
+        scope: None,
     },
     Hazard {
         needle: concat!("thread_", "rng"),
         why: "thread-local entropy RNG; use gd_types::rng with a fixed seed",
         tag: "entropy",
+        scope: None,
     },
     Hazard {
         needle: concat!("SystemTime::", "now"),
         why: "wall-clock read; simulated time comes from SimTime",
         tag: "wallclock",
+        scope: None,
     },
     Hazard {
         needle: concat!("Instant::", "now"),
         why: "wall-clock read; use SimTime or cycle counters",
         tag: "instant",
+        scope: None,
+    },
+    // The sweep pool promises results in point-index order regardless of
+    // thread schedule; a hash map in the results path would silently break
+    // that (completion-order or hash-order output). Lookup-only maps may
+    // opt out line-by-line.
+    Hazard {
+        needle: concat!("Hash", "Map"),
+        why: "nondeterministic iteration order in the sweep/figure path; \
+              collect into a Vec ordered by point index (or BTreeMap), or \
+              annotate a lookup-only map",
+        tag: "maporder",
+        scope: Some("crates/bench"),
     },
 ];
 
@@ -78,7 +97,8 @@ fn main() -> ExitCode {
         let Ok(text) = fs::read_to_string(file) else {
             continue;
         };
-        scan(file, &text, &mut findings);
+        let rel = file.strip_prefix(&workspace).unwrap_or(file);
+        scan(rel, &text, &mut findings);
     }
     if findings.is_empty() {
         println!("detlint: {} files clean", files.len());
@@ -119,6 +139,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Scans one file; `file` is workspace-relative so hazard scopes match.
 fn scan(file: &Path, text: &str, out: &mut Vec<Finding>) {
     for (idx, line) in text.lines().enumerate() {
         let trimmed = line.trim_start();
@@ -126,6 +147,11 @@ fn scan(file: &Path, text: &str, out: &mut Vec<Finding>) {
             continue; // prose may name the hazards
         }
         for hazard in HAZARDS {
+            if let Some(scope) = hazard.scope {
+                if !file.starts_with(scope) {
+                    continue;
+                }
+            }
             if !line.contains(hazard.needle) {
                 continue;
             }
@@ -165,14 +191,27 @@ mod tests {
 
     #[test]
     fn flags_each_hazard_class() {
-        let src = HAZARDS
-            .iter()
-            .map(|h| format!("let x = {}();", h.needle))
-            .collect::<Vec<_>>()
-            .join("\n");
+        for h in HAZARDS {
+            let src = format!("let x = {}();", h.needle);
+            let path = match h.scope {
+                Some(scope) => format!("{scope}/src/x.rs"),
+                None => "crates/x/src/x.rs".to_string(),
+            };
+            let mut findings = Vec::new();
+            scan(Path::new(&path), &src, &mut findings);
+            assert_eq!(findings.len(), 1, "hazard `{}` did not fire", h.needle);
+        }
+    }
+
+    #[test]
+    fn scoped_hazards_ignore_other_paths() {
+        let needle = concat!("Hash", "Map");
+        let src = format!("use std::collections::{needle};");
         let mut findings = Vec::new();
-        scan(Path::new("x.rs"), &src, &mut findings);
-        assert_eq!(findings.len(), HAZARDS.len());
+        scan(Path::new("crates/dram/src/x.rs"), &src, &mut findings);
+        assert!(findings.is_empty(), "maporder fired outside its scope");
+        scan(Path::new("crates/bench/src/x.rs"), &src, &mut findings);
+        assert_eq!(findings.len(), 1, "maporder must fire inside crates/bench");
     }
 
     #[test]

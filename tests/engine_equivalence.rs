@@ -1,0 +1,190 @@
+//! Equivalence gates for the performance engines.
+//!
+//! Two independent fast paths must never change results, only wall-clock:
+//!
+//! * `EngineMode::EventDriven` — the idle fast-forward inside `gd-dram`.
+//!   Every test here runs the same workload through the per-cycle
+//!   [`EngineMode::Stepped`] reference and asserts the full [`RunStats`]
+//!   (requests, latency sums, energy integrals, per-rank residency) are
+//!   **bit-for-bit identical**.
+//! * the `gd-bench` sweep pool — `--jobs N` fans figure points across
+//!   worker threads; results must match the serial `--jobs 1` path exactly
+//!   and arrive in point-index order regardless of thread schedule.
+
+use greendimm_suite::bench::sweep;
+use greendimm_suite::dram::{
+    AddressMapper, EngineMode, LowPowerPolicy, MemRequest, MemorySystem, RunStats,
+};
+use greendimm_suite::types::config::{DramConfig, InterleaveMode};
+use greendimm_suite::types::ids::SubArrayGroup;
+use greendimm_suite::workloads::{by_name, TraceGenerator};
+
+const MODES: [InterleaveMode; 2] = [InterleaveMode::Interleaved, InterleaveMode::Linear];
+
+/// Folds a profile-scale trace into the small test config's address space
+/// (profiles model multi-GiB footprints; `small_test` is 16 MiB).
+fn fold_into(cfg: &DramConfig, trace: Vec<MemRequest>) -> Vec<MemRequest> {
+    let cap = AddressMapper::new(cfg).unwrap().capacity_bytes();
+    trace
+        .into_iter()
+        .map(|mut r| {
+            r.addr = (r.addr % cap) & !63;
+            r
+        })
+        .collect()
+}
+
+const POLICIES: [fn() -> LowPowerPolicy; 3] = [
+    LowPowerPolicy::disabled,
+    LowPowerPolicy::srf_default,
+    LowPowerPolicy::aggressive,
+];
+
+/// Runs `trace` through both engines and asserts identical statistics.
+fn assert_trace_equivalent(
+    cfg: &DramConfig,
+    policy: LowPowerPolicy,
+    trace: &[MemRequest],
+    what: &str,
+) -> RunStats {
+    let mut stepped = MemorySystem::new(*cfg, policy)
+        .unwrap()
+        .with_engine_mode(EngineMode::Stepped);
+    let mut event = MemorySystem::new(*cfg, policy)
+        .unwrap()
+        .with_engine_mode(EngineMode::EventDriven);
+    let a = stepped.run_trace(trace.to_vec()).unwrap();
+    let b = event.run_trace(trace.to_vec()).unwrap();
+    assert_eq!(a, b, "stepped vs event-driven diverged: {what}");
+    a
+}
+
+/// A dense streaming workload: back-to-back sequential reads keep every
+/// channel busy, so the fast-forward path should almost never engage — the
+/// equivalence must hold trivially, and this guards against the event
+/// engine *skipping* work under load.
+#[test]
+fn streaming_reads_equivalent() {
+    for mode in MODES {
+        let cfg = DramConfig::small_test().with_interleave(mode);
+        for policy in POLICIES {
+            let trace: Vec<_> = (0..3000u64).map(|i| MemRequest::read(i * 64, i)).collect();
+            let stats =
+                assert_trace_equivalent(&cfg, policy(), &trace, &format!("streaming {mode:?}"));
+            assert_eq!(stats.reads, 3000);
+        }
+    }
+}
+
+/// A sparse periodic workload with long gaps between bursts: the governor
+/// cycles ranks through power-down and self-refresh between arrivals, so
+/// the fast-forward path carries most of the simulated time.
+#[test]
+fn sparse_bursts_equivalent() {
+    for mode in MODES {
+        let cfg = DramConfig::small_test().with_interleave(mode);
+        for policy in POLICIES {
+            // 40 bursts of 8 requests, 20 000 idle cycles apart: long
+            // enough for srf_default to reach self-refresh every gap.
+            let trace: Vec<_> = (0..320u64)
+                .map(|i| {
+                    let burst = i / 8;
+                    MemRequest::read((i % 8) * 64 + burst * 4096, burst * 20_000 + (i % 8))
+                })
+                .collect();
+            let stats =
+                assert_trace_equivalent(&cfg, policy(), &trace, &format!("bursts {mode:?}"));
+            assert_eq!(stats.reads, 320);
+        }
+    }
+}
+
+/// Profile-driven traces (row locality, exponential arrivals, read/write
+/// mix) for an intense and a sparse benchmark.
+#[test]
+fn profile_traces_equivalent() {
+    for mode in MODES {
+        let cfg = DramConfig::small_test().with_interleave(mode);
+        for (name, n) in [("mcf", 2000), ("povray", 300)] {
+            let mut generator = TraceGenerator::new(by_name(name).unwrap(), 11);
+            let trace = fold_into(&cfg, generator.take(n));
+            for policy in POLICIES {
+                assert_trace_equivalent(&cfg, policy(), &trace, &format!("{name} {mode:?}"));
+            }
+        }
+    }
+}
+
+/// Pure idle horizons: refresh and the governor are the only activity.
+/// This is the path the fast-forward exists for — a long horizon collapses
+/// to a handful of loop iterations — and also the easiest place to lose a
+/// refresh or a residency cycle.
+#[test]
+fn idle_horizons_equivalent() {
+    let cfg = DramConfig::small_test();
+    for policy in POLICIES {
+        for cycles in [1_000u64, 17_321, 200_000] {
+            let mut stepped = MemorySystem::new(cfg, policy())
+                .unwrap()
+                .with_engine_mode(EngineMode::Stepped);
+            let mut event = MemorySystem::new(cfg, policy())
+                .unwrap()
+                .with_engine_mode(EngineMode::EventDriven);
+            let a = stepped.run_idle(cycles);
+            let b = event.run_idle(cycles);
+            assert_eq!(a, b, "idle {cycles} cycles, {:?}", policy());
+        }
+    }
+}
+
+/// Idle with sub-array groups in deep power-down, then traffic after
+/// on-lining: mirrors the GreenDIMM daemon's life cycle across both
+/// engines.
+#[test]
+fn deep_pd_lifecycle_equivalent() {
+    let cfg = DramConfig::small_test();
+    let run = |engine_mode: EngineMode| {
+        let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())
+            .unwrap()
+            .with_engine_mode(engine_mode);
+        for g in [1u32, 2, 5] {
+            sys.set_group_deep_pd(SubArrayGroup::new(g), true).unwrap();
+        }
+        sys.run_idle(60_000);
+        for g in [1u32, 2, 5] {
+            sys.set_group_deep_pd(SubArrayGroup::new(g), false).unwrap();
+        }
+        let trace: Vec<_> = (0..500u64)
+            .map(|i| MemRequest::read(i * 64, i * 3))
+            .collect();
+        sys.run_trace(trace).unwrap()
+    };
+    assert_eq!(run(EngineMode::Stepped), run(EngineMode::EventDriven));
+}
+
+/// The sweep pool returns results identical to the serial path and ordered
+/// by point index, whatever the worker count or thread schedule.
+#[test]
+fn sweep_jobs_equivalent_and_ordered() {
+    let cfg = DramConfig::small_test();
+    let points: Vec<u64> = (0..12).collect();
+    let run_point = |ctx: sweep::PointCtx, &gap: &u64| -> (usize, RunStats) {
+        let seed = ctx.seed(9);
+        let mut generator = TraceGenerator::new(by_name("mcf").unwrap(), seed);
+        let trace: Vec<_> = fold_into(&cfg, generator.take(400))
+            .into_iter()
+            .map(|mut r| {
+                r.arrival += gap * 1000;
+                r
+            })
+            .collect();
+        let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default()).unwrap();
+        (ctx.index, sys.run_trace(trace).unwrap())
+    };
+    let serial = sweep::sweep(&points, 1, run_point);
+    let parallel = sweep::sweep(&points, 4, run_point);
+    assert_eq!(serial, parallel, "--jobs 1 vs --jobs 4 diverged");
+    for (expect, (index, _)) in parallel.iter().enumerate() {
+        assert_eq!(*index, expect, "results not in point-index order");
+    }
+}

@@ -19,4 +19,11 @@ cargo test --quiet --workspace
 echo "==> detlint (determinism scan)"
 cargo run --quiet -p gd-verify --bin detlint
 
+echo "==> engine equivalence (stepped vs event-driven, serial vs parallel sweep)"
+cargo test --quiet --release --test engine_equivalence
+
+echo "==> sweep smoke (fig03, --jobs 2, trimmed request count)"
+cargo run --quiet --release -p gd-bench --bin fig03_interleaving -- --jobs 2 --requests 6000 \
+  > /dev/null
+
 echo "==> all checks passed"
