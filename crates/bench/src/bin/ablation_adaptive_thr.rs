@@ -2,27 +2,42 @@
 //! stalls/failures, decay back when quiet. Compare against the fixed 10 %.
 //!
 //! App points fan across the sweep pool (`--jobs N`); timing lands in
-//! `results/BENCH_ablation_adaptive_thr.json`.
+//! `results/BENCH_ablation_adaptive_thr.json` and `--telemetry PATH`
+//! dumps every run's daemon/mm books as JSONL.
 
-use gd_bench::blocks::block_size_experiment;
+use gd_bench::blocks::block_size_experiment_tele;
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{timed_sweep, SweepOpts};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_workloads::spec2006_offlining_set;
 use greendimm::GreenDimmConfig;
 
 fn main() {
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    print_provenance(
+        "ablation_adaptive_thr",
+        "managed=8GiB spec2006-offlining blocks=128 seed=1 fixed-vs-adaptive",
+        &sw,
+    );
     let profiles = spec2006_offlining_set();
     let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
-    let results = timed_sweep(
+    let mut results = timed_sweep(
         "ablation_adaptive_thr",
         &profiles,
         &labels,
         sw.jobs,
         |_ctx, p| {
-            let fixed = block_size_experiment(p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-                .expect("co-sim");
-            let adaptive = block_size_experiment(
+            let (fixed, tele_fixed) = block_size_experiment_tele(
+                p,
+                128,
+                GreenDimmConfig::paper_default(),
+                |c| c,
+                1,
+                None,
+                topts.enabled(),
+            )
+            .expect("co-sim");
+            let (adaptive, tele_adaptive) = block_size_experiment_tele(
                 p,
                 128,
                 GreenDimmConfig {
@@ -31,11 +46,26 @@ fn main() {
                 },
                 |c| c,
                 1,
+                None,
+                topts.enabled(),
             )
             .expect("co-sim");
-            (fixed, adaptive)
+            (fixed, adaptive, tele_fixed, tele_adaptive)
         },
     );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut results)
+            .flat_map(|(l, (_, _, tf, ta))| {
+                [
+                    (format!("{l}/fixed"), tf.take()),
+                    (format!("{l}/adaptive"), ta.take()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let results: Vec<_> = results.into_iter().map(|(f, a, _, _)| (f, a)).collect();
 
     let widths = [16, 12, 12, 12, 12];
     header(

@@ -5,16 +5,22 @@
 //! in `results/BENCH_ablation_ksm_scan.json`.
 
 use gd_bench::report::{header, row};
-use gd_bench::{timed_sweep, SweepOpts};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_ksm::{Ksm, KsmConfig};
 use gd_mmsim::{MemoryManager, MmConfig, PageKind};
 use gd_types::SimTime;
 
 fn main() {
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    print_provenance(
+        "ablation_ksm_scan",
+        "mm-small-test 2x4096-page-vms rates=100..5000",
+        &sw,
+    );
     let rates = [100u64, 500, 1000, 5000];
     let labels: Vec<String> = rates.iter().map(|r| format!("pages_to_scan={r}")).collect();
-    let results = timed_sweep(
+    let mut results = timed_sweep(
         "ablation_ksm_scan",
         &rates,
         &labels,
@@ -31,9 +37,22 @@ fn main() {
             ksm.register_region(b, vec![(7, 4096)], 0);
             let at60 = ksm.advance(SimTime::from_secs(60), &mut mm).expect("scan");
             let more = ksm.advance(SimTime::from_secs(540), &mut mm).expect("scan");
-            (at60, at60 + more)
+            let mut tele = topts.shard();
+            if let Some(t) = &mut tele {
+                ksm.export_telemetry(t, "ablation", SimTime::from_secs(600));
+                mm.export_telemetry(t, "ablation");
+            }
+            (at60, at60 + more, tele)
         },
     );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut results)
+            .map(|(l, (_, _, tele))| (l.clone(), tele.take()))
+            .collect::<Vec<_>>(),
+    );
+    let results: Vec<_> = results.into_iter().map(|(a, b, _)| (a, b)).collect();
 
     let widths = [14, 14, 16];
     header(

@@ -4,14 +4,22 @@
 //! App points fan across the sweep pool (`--jobs N`); timing lands in
 //! `results/BENCH_ablation_neighbor.json`.
 
-use gd_bench::blocks::block_size_experiment;
+use gd_bench::blocks::block_size_experiment_tele;
 use gd_bench::report::{header, pct, row};
-use gd_bench::{run_vm_trace, timed_sweep, SweepOpts, VmTraceConfig};
+use gd_bench::{
+    print_provenance, run_vm_trace, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
+};
 use gd_workloads::spec2006_offlining_set;
 use greendimm::GreenDimmConfig;
 
 fn main() {
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    print_provenance(
+        "ablation_neighbor",
+        "managed=8GiB spec2006-offlining blocks=128 seed=1 constraint-on-vs-off",
+        &sw,
+    );
     // The VM-trace runner uses the paper-default daemon (constraint ON).
     // For the ablation we compare against the same run with the constraint
     // relaxed through the block-size machinery at 8 GB scale.
@@ -23,9 +31,17 @@ fn main() {
         &labels,
         sw.jobs,
         |_ctx, p| {
-            let with = block_size_experiment(p, 128, GreenDimmConfig::paper_default(), |c| c, 1)
-                .expect("co-sim");
-            let without = block_size_experiment(
+            let (with, tele_with) = block_size_experiment_tele(
+                p,
+                128,
+                GreenDimmConfig::paper_default(),
+                |c| c,
+                1,
+                None,
+                topts.enabled(),
+            )
+            .expect("co-sim");
+            let (without, tele_without) = block_size_experiment_tele(
                 p,
                 128,
                 GreenDimmConfig {
@@ -34,9 +50,11 @@ fn main() {
                 },
                 |c| c,
                 1,
+                None,
+                topts.enabled(),
             )
             .expect("co-sim");
-            (with, without)
+            (with, without, tele_with, tele_without)
         },
     );
 
@@ -46,6 +64,20 @@ fn main() {
         &["app", "deepPD w/ cstr", "deepPD w/o"],
         &widths,
     );
+    let mut results = results;
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut results)
+            .flat_map(|(l, (_, _, tw, two))| {
+                [
+                    (format!("{l}/with"), tw.take()),
+                    (format!("{l}/without"), two.take()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let results: Vec<_> = results.into_iter().map(|(w, wo, _, _)| (w, wo)).collect();
     for (p, (with, without)) in profiles.iter().zip(results) {
         // Deep-PD proxy: off-lined capacity is the same; what changes is
         // how much of it may be power-gated. Use the daemon's register

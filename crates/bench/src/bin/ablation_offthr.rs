@@ -5,18 +5,24 @@
 //! Threshold points fan across the sweep pool (`--jobs N`); timing lands
 //! in `results/BENCH_ablation_offthr.json`.
 
-use gd_bench::blocks::block_size_experiment;
+use gd_bench::blocks::block_size_experiment_tele;
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{timed_sweep, SweepOpts};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_workloads::by_name;
 use greendimm::GreenDimmConfig;
 
 fn main() {
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    print_provenance(
+        "ablation_offthr",
+        "managed=8GiB gcc blocks=128 seed=1 thresholds=0.05..0.30",
+        &sw,
+    );
     let thresholds = [0.05, 0.10, 0.15, 0.20, 0.30];
     let labels: Vec<String> = thresholds.iter().map(|t| format!("off_thr={t}")).collect();
     let gcc = by_name("gcc").expect("profile");
-    let results = timed_sweep(
+    let mut results = timed_sweep(
         "ablation_offthr",
         &thresholds,
         &labels,
@@ -27,9 +33,18 @@ fn main() {
                 on_thr: off_thr / 2.0,
                 ..GreenDimmConfig::paper_default()
             };
-            block_size_experiment(&gcc, 128, cfg, |c| c, 1).expect("co-sim")
+            block_size_experiment_tele(&gcc, 128, cfg, |c| c, 1, None, topts.enabled())
+                .expect("co-sim")
         },
     );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut results)
+            .map(|(l, (_, tele))| (l.clone(), tele.take()))
+            .collect::<Vec<_>>(),
+    );
+    let results: Vec<_> = results.into_iter().map(|(r, _)| r).collect();
 
     let widths = [8, 14, 12, 10];
     header(

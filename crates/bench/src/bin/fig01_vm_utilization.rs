@@ -1,21 +1,110 @@
 //! Fig. 1: memory capacity used by the server over 24 hours, with and
 //! without KSM (paper: 48 % average, 7–92 % range; KSM −24 % on average).
+//!
+//! Two sweep points — the synthesized trace and the KSM co-simulation —
+//! fan across the pool (`--jobs N`); `--requests N` trims the trace to N
+//! scheduler samples for smoke runs; timing lands in
+//! `results/BENCH_fig01_vm_utilization.json` and `--telemetry PATH` dumps
+//! the co-simulation's daemon/mm/ksm books as JSONL.
 
 use gd_bench::report::{header, pct, row};
-use gd_bench::{run_vm_trace, VmTraceConfig};
+use gd_bench::{
+    print_provenance, run_vm_trace_tele, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
+};
+use gd_obs::Telemetry;
 use gd_workloads::azure::{synthesize, AzureConfig};
 
-fn main() {
-    let azure = AzureConfig::paper_24h();
-    let trace = synthesize(&azure);
+struct Point {
+    /// Mean used fraction per displayed hour.
+    hourly: Vec<f64>,
+    mean: f64,
+    range: (f64, f64),
+    tele: Option<Telemetry>,
+}
 
-    // KSM effect measured through the full co-simulation.
-    let ksm_run = run_vm_trace(&VmTraceConfig {
-        ksm: true,
-        greendimm: false,
-        ..VmTraceConfig::paper_256gb()
-    })
-    .expect("vm trace");
+fn main() {
+    let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    let azure = AzureConfig::paper_24h();
+    let duration_s = sw
+        .requests
+        .map(|n| (n as u64 * azure.schedule_period_s).clamp(3_600, 86_400))
+        .unwrap_or(86_400);
+    print_provenance(
+        "fig01_vm_utilization",
+        &format!("azure-24h capacity=256GB block=1GB seed=42 duration_s={duration_s} ksm"),
+        &sw,
+    );
+
+    let kinds = ["trace", "ksm"];
+    let labels: Vec<String> = kinds.iter().map(|k| (*k).to_string()).collect();
+    let hours = (duration_s / 3_600).max(1);
+    let results = timed_sweep(
+        "fig01_vm_utilization",
+        &kinds,
+        &labels,
+        sw.jobs,
+        |_ctx, kind| match *kind {
+            "trace" => {
+                let trace = synthesize(&AzureConfig {
+                    duration_s,
+                    ..azure
+                });
+                let hourly = (0..hours)
+                    .map(|h| {
+                        let t = h * 3600;
+                        trace
+                            .utilization
+                            .iter()
+                            .filter(|(ts, _)| *ts >= t && *ts < t + 3600)
+                            .map(|(_, u)| u)
+                            .sum::<f64>()
+                            / 12.0
+                    })
+                    .collect();
+                let mut tele = topts.shard();
+                if let Some(t) = &mut tele {
+                    t.registry
+                        .gauge_set("trace.mean_utilization", trace.mean_utilization());
+                }
+                Point {
+                    hourly,
+                    mean: trace.mean_utilization(),
+                    range: trace.utilization_range(),
+                    tele,
+                }
+            }
+            _ => {
+                let (out, tele) = run_vm_trace_tele(
+                    &VmTraceConfig {
+                        ksm: true,
+                        greendimm: false,
+                        duration_s,
+                        ..VmTraceConfig::paper_256gb()
+                    },
+                    topts.enabled(),
+                )
+                .expect("vm trace");
+                let hourly = (0..hours)
+                    .map(|h| {
+                        let t = h * 3600;
+                        out.samples
+                            .iter()
+                            .filter(|s| s.time_s >= t && s.time_s < t + 3600)
+                            .map(|s| s.used_fraction)
+                            .sum::<f64>()
+                            / 12.0
+                    })
+                    .collect();
+                Point {
+                    hourly,
+                    mean: out.mean_used_fraction(),
+                    range: (0.0, 0.0),
+                    tele,
+                }
+            }
+        },
+    );
 
     let widths = [6, 12, 12];
     header(
@@ -23,33 +112,29 @@ fn main() {
         &["hour", "used", "used w/ksm"],
         &widths,
     );
-    for h in 0..24u64 {
-        let t = h * 3600;
-        let base = trace
-            .utilization
-            .iter()
-            .filter(|(ts, _)| *ts >= t && *ts < t + 3600)
-            .map(|(_, u)| u)
-            .sum::<f64>()
-            / 12.0;
-        let ksm = ksm_run
-            .samples
-            .iter()
-            .filter(|s| s.time_s >= t && s.time_s < t + 3600)
-            .map(|s| s.used_fraction)
-            .sum::<f64>()
-            / 12.0;
-        row(&[format!("{h:02}"), pct(base), pct(ksm)], &widths);
+    let (trace, ksm) = (&results[0], &results[1]);
+    for h in 0..hours as usize {
+        row(
+            &[format!("{h:02}"), pct(trace.hourly[h]), pct(ksm.hourly[h])],
+            &widths,
+        );
     }
-    let (lo, hi) = trace.utilization_range();
+    let (lo, hi) = trace.range;
     println!(
         "\nmean {} (paper 48%), range {}..{} (paper 7%..92%)",
-        pct(trace.mean_utilization()),
+        pct(trace.mean),
         pct(lo),
         pct(hi)
     );
     println!(
         "mean w/ KSM {} (paper: KSM saves 24% of used capacity on average)",
-        pct(ksm_run.mean_used_fraction())
+        pct(ksm.mean)
+    );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&results)
+            .map(|(l, r)| (l.clone(), r.tele.clone()))
+            .collect::<Vec<_>>(),
     );
 }

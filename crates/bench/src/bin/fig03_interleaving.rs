@@ -4,11 +4,13 @@
 //! interleaving).
 //!
 //! Each app is one sweep point (`--jobs N`, `--requests N` for smoke runs);
-//! timing lands in `results/BENCH_fig03_interleaving.json`.
+//! timing lands in `results/BENCH_fig03_interleaving.json` and
+//! `--telemetry PATH` dumps each run's DRAM books as JSONL.
 
-use gd_bench::energy::{evaluate_app, find_row, measure_app};
+use gd_bench::energy::{evaluate_app_tele, find_row, measure_app, MeasureOpts};
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{timed_sweep, SweepOpts};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_obs::Telemetry;
 use gd_types::config::{DramConfig, InterleaveMode};
 use gd_workloads::by_name;
 
@@ -18,13 +20,20 @@ struct Point {
     sr_with: f64,
     sr_without: f64,
     energy_ratio: f64,
+    tele: Option<Telemetry>,
 }
 
 fn main() {
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
     let cfg = DramConfig::ddr4_2133_64gb();
     let apps = ["mcf", "soplex", "lbm", "libquantum"];
     let requests = sw.requests.unwrap_or(25_000);
+    print_provenance(
+        "fig03_interleaving",
+        &format!("ddr4-2133 64GB apps=mcf/soplex/lbm/libquantum requests={requests} seed=1"),
+        &sw,
+    );
     let labels: Vec<String> = apps.iter().map(|a| (*a).to_string()).collect();
     let points = timed_sweep(
         "fig03_interleaving",
@@ -37,7 +46,10 @@ fn main() {
                 measure_app(&p, cfg, InterleaveMode::Interleaved, requests, 1).expect("cycle sim");
             let without =
                 measure_app(&p, cfg, InterleaveMode::Linear, requests, 1).expect("cycle sim");
-            let rows = evaluate_app(&p, cfg, requests, 1).expect("energy");
+            let mut tele = topts.shard();
+            let rows =
+                evaluate_app_tele(&p, cfg, requests, 1, MeasureOpts::default(), tele.as_mut())
+                    .expect("energy");
             let e_with = find_row(&rows, "srf_only", true).expect("cell").system_j;
             let e_without = find_row(&rows, "srf_only", false).expect("cell").system_j;
             Point {
@@ -46,6 +58,7 @@ fn main() {
                 sr_with: with.sr_fraction,
                 sr_without: without.sr_fraction,
                 energy_ratio: e_without / e_with,
+                tele,
             }
         },
     );
@@ -56,7 +69,9 @@ fn main() {
         &["app", "speedup", "SR w/intlv", "SR w/o", "E w/o / E w/"],
         &widths,
     );
-    for p in points {
+    let mut shards = Vec::new();
+    for mut p in points {
+        shards.push((p.app.clone(), p.tele.take()));
         row(
             &[
                 p.app,
@@ -70,4 +85,5 @@ fn main() {
     }
     println!("\npaper: speedup up to 3.8x (lbm); SR 0% w/ intlv vs ~54% w/o;");
     println!("w/o interleaving saves ~26% energy for these apps when SR is usable");
+    topts.write(&shards);
 }

@@ -4,12 +4,13 @@
 //! and beats RAMZzz/PASR by ~49 pp when interleaving is on).
 //!
 //! Every app is an independent sweep point; `--jobs N` fans them across a
-//! worker pool (`--jobs 1` reproduces the serial path bit-for-bit) and the
-//! wall-clock profile lands in `results/BENCH_fig09_dram_energy.json`.
+//! worker pool (`--jobs 1` reproduces the serial path bit-for-bit), the
+//! wall-clock profile lands in `results/BENCH_fig09_dram_energy.json`, and
+//! `--telemetry PATH` dumps each run's DRAM books as JSONL.
 
-use gd_bench::energy::{evaluate_app_opts, MeasureOpts};
+use gd_bench::energy::{evaluate_app_tele, MeasureOpts};
 use gd_bench::report::{f2, header, row};
-use gd_bench::{timed_sweep, SweepOpts};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_types::config::DramConfig;
 use gd_types::stats::geomean;
 use gd_workloads::energy_figure_set;
@@ -17,20 +18,38 @@ use gd_workloads::energy_figure_set;
 fn main() {
     let opts = MeasureOpts::from_args();
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    let cfg = DramConfig::ddr4_2133_64gb();
+    let requests = sw.requests.unwrap_or(20_000);
+    print_provenance(
+        "fig09_dram_energy",
+        &format!("ddr4-2133 64GB energy-figure-set requests={requests} seed=1"),
+        &sw,
+    );
     if opts.strict_validate {
         println!("[strict-validate: protocol + governor invariants enforced]");
     }
-    let cfg = DramConfig::ddr4_2133_64gb();
-    let requests = sw.requests.unwrap_or(20_000);
     let profiles = energy_figure_set();
     let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
-    let results = timed_sweep(
+    let mut results = timed_sweep(
         "fig09_dram_energy",
         &profiles,
         &labels,
         sw.jobs,
-        |_ctx, p| evaluate_app_opts(p, cfg, requests, 1, opts),
+        |_ctx, p| {
+            let mut tele = topts.shard();
+            let rows = evaluate_app_tele(p, cfg, requests, 1, opts, tele.as_mut());
+            (rows, tele)
+        },
     );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut results)
+            .map(|(l, (_, tele))| (l.clone(), tele.take()))
+            .collect::<Vec<_>>(),
+    );
+    let results: Vec<_> = results.into_iter().map(|(rows, _)| rows).collect();
 
     let widths = [16, 9, 9, 9, 9, 9, 9, 9, 9];
     header(

@@ -3,12 +3,13 @@
 //! visible p95/p99 degradation for the latency-critical services).
 //!
 //! Co-simulation points fan across the sweep pool (`--jobs N`); timing
-//! lands in `results/BENCH_fig11_perf_overhead.json`.
+//! lands in `results/BENCH_fig11_perf_overhead.json` and
+//! `--telemetry PATH` dumps each run's daemon/mm books as JSONL.
 
-use gd_bench::blocks::{block_size_experiment_verified, nominal_runtime_s};
+use gd_bench::blocks::{block_size_experiment_tele, nominal_runtime_s};
 use gd_bench::energy::MeasureOpts;
 use gd_bench::report::{header, pct, row};
-use gd_bench::{timed_sweep, SweepOpts};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_types::stats::percentile;
 use gd_workloads::energy_figure_set;
 use greendimm::GreenDimmConfig;
@@ -16,29 +17,44 @@ use greendimm::GreenDimmConfig;
 fn main() {
     let opts = MeasureOpts::from_args();
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
     let verify = opts.strict_validate.then_some(gd_verify::Mode::Strict);
+    print_provenance(
+        "fig11_perf_overhead",
+        "managed=8GiB energy-figure-set blocks=128 seed=1",
+        &sw,
+    );
     if verify.is_some() {
         println!("[strict-validate: co-simulation invariants enforced]");
     }
     let profiles = energy_figure_set();
     let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
-    let results = timed_sweep(
+    let mut results = timed_sweep(
         "fig11_perf_overhead",
         &profiles,
         &labels,
         sw.jobs,
         |_ctx, p| {
-            block_size_experiment_verified(
+            block_size_experiment_tele(
                 p,
                 128,
                 GreenDimmConfig::paper_default(),
                 |c| c,
                 1,
                 verify,
+                topts.enabled(),
             )
             .expect("co-sim")
         },
     );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut results)
+            .map(|(l, (_, tele))| (l.clone(), tele.take()))
+            .collect::<Vec<_>>(),
+    );
+    let results: Vec<_> = results.into_iter().map(|(r, _)| r).collect();
 
     let widths = [16, 10, 12];
     header(

@@ -1,19 +1,57 @@
 //! Fig. 12: off-lined memory blocks over the 24 h VM trace (paper: 116 of
 //! 256 blocks on average — 45 % of capacity; 230 at minimum utilization;
 //! 4 at peak; KSM off-lines 61 more and cuts background power 70 %).
+//!
+//! The base and KSM co-simulations are two sweep points (`--jobs N`);
+//! `--requests N` trims the trace to N scheduler samples; timing lands in
+//! `results/BENCH_fig12_vm_offlined_blocks.json` and `--telemetry PATH`
+//! dumps both runs' daemon/mm books as JSONL.
 
 use gd_bench::report::{header, pct, row};
-use gd_bench::{run_vm_trace, VmTraceConfig};
+use gd_bench::{
+    print_provenance, run_vm_trace_tele, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
+};
 use gd_power::{ActivityProfile, DramPowerModel, PowerGating};
 use gd_types::config::DramConfig;
 
 fn main() {
-    let base = run_vm_trace(&VmTraceConfig::paper_256gb()).expect("vm trace");
-    let ksm = run_vm_trace(&VmTraceConfig {
-        ksm: true,
-        ..VmTraceConfig::paper_256gb()
-    })
-    .expect("vm trace");
+    let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    let duration_s = sw
+        .requests
+        .map(|n| (n as u64 * 300).clamp(3_600, 86_400))
+        .unwrap_or(86_400);
+    print_provenance(
+        "fig12_vm_offlined_blocks",
+        &format!("azure-24h capacity=256GB block=1GB seed=42 duration_s={duration_s} greendimm"),
+        &sw,
+    );
+
+    let kinds = [false, true];
+    let labels: Vec<String> = vec!["base".into(), "ksm".into()];
+    let mut runs = timed_sweep(
+        "fig12_vm_offlined_blocks",
+        &kinds,
+        &labels,
+        sw.jobs,
+        |_ctx, &ksm| {
+            run_vm_trace_tele(
+                &VmTraceConfig {
+                    ksm,
+                    duration_s,
+                    ..VmTraceConfig::paper_256gb()
+                },
+                topts.enabled(),
+            )
+            .expect("vm trace")
+        },
+    );
+    let shards: Vec<_> = labels
+        .iter()
+        .zip(&mut runs)
+        .map(|(l, (_, tele))| (l.clone(), tele.take()))
+        .collect();
+    let (base, ksm) = (&runs[0].0, &runs[1].0);
 
     let widths = [8, 14, 14];
     header(
@@ -21,7 +59,7 @@ fn main() {
         &["hour", "offline", "offline w/ksm"],
         &widths,
     );
-    for h in 0..24u64 {
+    for h in 0..(duration_s / 3_600).max(1) {
         let avg = |o: &gd_bench::VmTraceOutcome| {
             let v: Vec<_> = o
                 .samples
@@ -34,8 +72,8 @@ fn main() {
         row(
             &[
                 format!("{h:02}"),
-                format!("{:.0}", avg(&base)),
-                format!("{:.0}", avg(&ksm)),
+                format!("{:.0}", avg(base)),
+                format!("{:.0}", avg(ksm)),
             ],
             &widths,
         );
@@ -63,4 +101,5 @@ fn main() {
         pct(1.0 - with / full),
         pct(1.0 - with_ksm / full)
     );
+    topts.write(&shards);
 }

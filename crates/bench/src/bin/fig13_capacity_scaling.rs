@@ -3,15 +3,29 @@
 //! −36 %/−20 % at 1 TB; with KSM −55 %/−30 % at 1 TB).
 //!
 //! Each {capacity × KSM} VM-trace run is one sweep point (`--jobs N`);
-//! timing lands in `results/BENCH_fig13_capacity_scaling.json`.
+//! `--requests N` trims the trace to N scheduler samples; timing lands in
+//! `results/BENCH_fig13_capacity_scaling.json` and `--telemetry PATH`
+//! dumps every run's daemon/mm/ksm books as JSONL.
 
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{run_vm_trace, timed_sweep, SweepOpts, VmTraceConfig};
+use gd_bench::{
+    print_provenance, run_vm_trace_tele, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
+};
 use gd_power::{ActivityProfile, DramPowerModel, PowerGating, SystemPowerModel};
 use gd_types::config::DramConfig;
 
 fn main() {
     let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    let duration_s = sw
+        .requests
+        .map(|n| (n as u64 * 300).clamp(3_600, 86_400))
+        .unwrap_or(86_400);
+    print_provenance(
+        "fig13_capacity_scaling",
+        &format!("azure-24h block=1GB seed=42 duration_s={duration_s} caps=256..1024 x ksm"),
+        &sw,
+    );
     let caps = [256u64, 512, 768, 1024];
     // One point per {capacity, ksm} pair; results stitched back per capacity.
     let points: Vec<(u64, bool)> = caps
@@ -22,7 +36,7 @@ fn main() {
         .iter()
         .map(|(cap, ksm)| format!("{cap}G{}", if *ksm { "+ksm" } else { "" }))
         .collect();
-    let runs = timed_sweep(
+    let mut runs = timed_sweep(
         "fig13_capacity_scaling",
         &points,
         &labels,
@@ -31,11 +45,20 @@ fn main() {
             let cfg = VmTraceConfig {
                 capacity_gb: cap_gb,
                 ksm,
+                duration_s,
                 ..VmTraceConfig::paper_256gb()
             };
-            run_vm_trace(&cfg).expect("vm trace")
+            run_vm_trace_tele(&cfg, topts.enabled()).expect("vm trace")
         },
     );
+    topts.write(
+        &labels
+            .iter()
+            .zip(&mut runs)
+            .map(|(l, (_, tele))| (l.clone(), tele.take()))
+            .collect::<Vec<_>>(),
+    );
+    let runs: Vec<_> = runs.into_iter().map(|(r, _)| r).collect();
 
     let widths = [9, 9, 9, 9, 9, 10, 10, 10, 10];
     header(

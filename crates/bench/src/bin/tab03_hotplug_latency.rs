@@ -1,11 +1,18 @@
 //! Table 3: average latencies of off-lining, on-lining, and the two
 //! failure modes (paper: 1.58 ms / 3.44 ms / EAGAIN 4.37 ms / EBUSY 6 µs),
 //! measured by forcing each path through the hotplug machinery.
+//!
+//! One sweep point (`--jobs N` accepted for interface uniformity);
+//! `--requests N` sets the iterations per path; timing lands in
+//! `results/BENCH_tab03_hotplug_latency.json` and `--telemetry PATH`
+//! dumps the mm books as JSONL.
 
 use gd_bench::report::{header, row};
-use gd_mmsim::{MemoryManager, MmConfig, PageKind};
+use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_mmsim::{HotplugStats, MemoryManager, MmConfig, PageKind};
+use gd_obs::Telemetry;
 
-fn main() {
+fn measure(iters: usize, tele: &mut Option<Telemetry>) -> HotplugStats {
     let mut mm = MemoryManager::new(MmConfig {
         transient_fail_prob: 1.0, // force EAGAIN on migration paths
         ..MmConfig::small_test()
@@ -13,24 +20,52 @@ fn main() {
     .expect("config");
 
     // Success + online: free block.
-    for _ in 0..50 {
+    for _ in 0..iters {
         mm.offline_block(15).unwrap().unwrap();
         mm.online_block(15).unwrap();
     }
     // EBUSY: kernel pages in block 0.
     let kernel = mm.allocate(64, PageKind::KernelUnmovable).unwrap();
-    for _ in 0..50 {
+    for _ in 0..iters {
         mm.offline_block(0).unwrap().unwrap_err();
     }
     mm.free(kernel).unwrap();
     // EAGAIN: movable pages, but migration always transiently fails.
     let app = mm.allocate(1000, PageKind::UserMovable).unwrap();
-    for _ in 0..50 {
+    for _ in 0..iters {
         mm.offline_block(0).unwrap().unwrap_err();
     }
     mm.free(app).unwrap();
+    if let Some(t) = tele {
+        mm.export_telemetry(t, "tab03");
+    }
+    mm.stats
+}
 
-    let s = &mm.stats;
+fn main() {
+    let sw = SweepOpts::from_args();
+    let topts = TelemetryOpts::from_args();
+    let iters = sw.requests.unwrap_or(50);
+    print_provenance(
+        "tab03_hotplug_latency",
+        &format!("mm-small-test transient_fail=1.0 iters={iters}"),
+        &sw,
+    );
+    let points = ["latency"];
+    let labels = vec!["latency".to_string()];
+    let mut results = timed_sweep(
+        "tab03_hotplug_latency",
+        &points,
+        &labels,
+        sw.jobs,
+        |_ctx, _| {
+            let mut tele = topts.shard();
+            let stats = measure(iters, &mut tele);
+            (stats, tele)
+        },
+    );
+    let s = &results[0].0;
+
     let widths = [22, 18, 14];
     header(
         "Table 3: hotplug operation latencies (while running mcf)",
@@ -78,4 +113,5 @@ fn main() {
         "\ncounts: {} offline, {} online, {} EAGAIN, {} EBUSY",
         s.offline_success, s.online_count, s.offline_eagain, s.offline_ebusy
     );
+    topts.write(&[("latency".to_string(), results[0].1.take())]);
 }

@@ -68,6 +68,36 @@ pub fn block_size_experiment_verified(
     seed: u64,
     verify: Option<gd_verify::Mode>,
 ) -> Result<BlockSizeRow> {
+    Ok(block_size_experiment_tele(
+        profile,
+        block_mib,
+        gd_cfg,
+        mm_cfg_tweaks,
+        seed,
+        verify,
+        false,
+    )?
+    .0)
+}
+
+/// [`block_size_experiment_verified`] with optional telemetry: when
+/// `with_telemetry` is true the co-simulation traces every daemon tick and
+/// allocation stall, exports the mm/daemon books under the `blocks.*`
+/// scope, and returns the filled sink.
+///
+/// # Errors
+///
+/// Same as [`block_size_experiment_verified`].
+#[allow(clippy::too_many_arguments)]
+pub fn block_size_experiment_tele(
+    profile: &AppProfile,
+    block_mib: u64,
+    gd_cfg: GreenDimmConfig,
+    mm_cfg_tweaks: impl FnOnce(MmConfig) -> MmConfig,
+    seed: u64,
+    verify: Option<gd_verify::Mode>,
+    with_telemetry: bool,
+) -> Result<(BlockSizeRow, Option<gd_obs::Telemetry>)> {
     let mm_cfg = mm_cfg_tweaks(MmConfig {
         capacity_bytes: MANAGED_BYTES,
         block_bytes: block_mib << 20,
@@ -86,6 +116,9 @@ pub fn block_size_experiment_verified(
     let mut sim = EpochSim::new(mm, daemon, None);
     if let Some(mode) = verify {
         sim.enable_verification(mode);
+    }
+    if with_telemetry {
+        sim.enable_telemetry();
     }
     sim.settle(120)?;
     let settle_stats = sim.daemon.stats;
@@ -132,16 +165,21 @@ pub fn block_size_experiment_verified(
         * (profile.footprint_bytes() as f64 / (1u64 << 30) as f64);
     let overhead_s = run_hotplug_time.as_secs_f64() + interference_s + 0.001 * epochs as f64;
 
-    Ok(BlockSizeRow {
-        app: profile.name.to_string(),
-        block_mib,
-        offlined_gib_avg: offline_gib_sum / epochs as f64,
-        overhead_fraction: overhead_s / runtime_s,
-        hotplug_events: run_events,
-        failures: run_failures,
-        failures_eagain: run_eagain,
-        daemon: d,
-    })
+    sim.export_telemetry("blocks");
+    let tele = sim.telemetry.take();
+    Ok((
+        BlockSizeRow {
+            app: profile.name.to_string(),
+            block_mib,
+            offlined_gib_avg: offline_gib_sum / epochs as f64,
+            overhead_fraction: overhead_s / runtime_s,
+            hotplug_events: run_events,
+            failures: run_failures,
+            failures_eagain: run_eagain,
+            daemon: d,
+        },
+        tele,
+    ))
 }
 
 /// Nominal runtime from the CPU model at [`NOMINAL_LATENCY_CYCLES`].

@@ -81,6 +81,26 @@ pub fn measure_app_opts(
     seed: u64,
     opts: MeasureOpts,
 ) -> Result<AppMeasurement> {
+    measure_app_tele(profile, cfg, mode, requests, seed, opts, None)
+}
+
+/// [`measure_app_opts`] with an optional telemetry sink: when `tele` is
+/// `Some`, the run's DRAM books (per-rank power-state residency, per-channel
+/// command counters, per-group deep power-down dwell) are exported under a
+/// scope named after the interleave mode.
+///
+/// # Errors
+///
+/// Same as [`measure_app_opts`].
+pub fn measure_app_tele(
+    profile: &AppProfile,
+    cfg: DramConfig,
+    mode: InterleaveMode,
+    requests: usize,
+    seed: u64,
+    opts: MeasureOpts,
+    tele: Option<&mut gd_obs::Telemetry>,
+) -> Result<AppMeasurement> {
     let cfg = cfg.with_interleave(mode);
     let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())?;
     if opts.strict_validate {
@@ -107,6 +127,14 @@ pub fn measure_app_opts(
                 profile.name,
             )));
         }
+    }
+    if let Some(tele) = tele {
+        let scope = if mode.is_interleaved() {
+            "interleaved"
+        } else {
+            "linear"
+        };
+        sys.export_telemetry(tele, scope);
     }
     let avg_latency = stats.read_latency.mean().unwrap_or(60.0);
     let model = DramPowerModel::new(cfg);
@@ -220,15 +248,42 @@ pub fn evaluate_app_opts(
     seed: u64,
     opts: MeasureOpts,
 ) -> Result<Vec<EnergyRow>> {
-    let with = measure_app_opts(
+    evaluate_app_tele(profile, cfg, requests, seed, opts, None)
+}
+
+/// [`evaluate_app_opts`] with an optional telemetry sink: both cycle-level
+/// runs (interleaved and linear) export their DRAM books into `tele`,
+/// under the `interleaved.*` and `linear.*` scopes respectively.
+///
+/// # Errors
+///
+/// Same as [`evaluate_app_opts`].
+pub fn evaluate_app_tele(
+    profile: &AppProfile,
+    cfg: DramConfig,
+    requests: usize,
+    seed: u64,
+    opts: MeasureOpts,
+    mut tele: Option<&mut gd_obs::Telemetry>,
+) -> Result<Vec<EnergyRow>> {
+    let with = measure_app_tele(
         profile,
         cfg,
         InterleaveMode::Interleaved,
         requests,
         seed,
         opts,
+        tele.as_deref_mut(),
     )?;
-    let without = measure_app_opts(profile, cfg, InterleaveMode::Linear, requests, seed, opts)?;
+    let without = measure_app_tele(
+        profile,
+        cfg,
+        InterleaveMode::Linear,
+        requests,
+        seed,
+        opts,
+        tele,
+    )?;
     let model = DramPowerModel::new(cfg);
     let system = SystemPowerModel::default();
     let cpu_util = 0.6;
@@ -376,6 +431,42 @@ mod tests {
         // governor defect turns this into an Err.
         let rows = evaluate_app_opts(&p, small(), 4_000, 4, opts).unwrap();
         assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn telemetry_export_is_deterministic_and_accounts_all_time() {
+        let p = small_profile();
+        let run = || {
+            let mut tele = gd_obs::Telemetry::new();
+            evaluate_app_tele(
+                &p,
+                small(),
+                4_000,
+                1,
+                MeasureOpts::default(),
+                Some(&mut tele),
+            )
+            .unwrap();
+            tele
+        };
+        let tele = run();
+        // Both interleave scopes exported their DRAM books.
+        assert!(tele.registry.counter("interleaved.dram.cycles") > 0);
+        assert!(tele.registry.counter("linear.dram.cycles") > 0);
+        // Every rank's residency histogram sums to that run's cycle count.
+        for scope in ["interleaved", "linear"] {
+            let elapsed = tele.registry.counter(&format!("{scope}.dram.cycles"));
+            let v = gd_verify::telemetry::check_residencies(
+                &tele.registry,
+                &format!("{scope}.dram."),
+                elapsed,
+                gd_verify::Mode::Strict,
+            )
+            .unwrap();
+            assert_eq!(v, 0);
+        }
+        // Bit-identical across repeat runs.
+        assert_eq!(tele.render_jsonl("p"), run().render_jsonl("p"));
     }
 
     #[test]

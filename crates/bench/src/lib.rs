@@ -12,11 +12,18 @@
 
 pub mod blocks;
 pub mod energy;
+pub mod provenance;
 pub mod report;
 pub mod sweep;
+pub mod telemetry;
 pub mod vmtrace;
 
-pub use blocks::{block_size_experiment, BlockSizeRow, MANAGED_BYTES};
-pub use energy::{evaluate_app, find_row, measure_app, AppMeasurement, EnergyRow};
+pub use blocks::{block_size_experiment, block_size_experiment_tele, BlockSizeRow, MANAGED_BYTES};
+pub use energy::{
+    evaluate_app, evaluate_app_tele, find_row, measure_app, measure_app_tele, AppMeasurement,
+    EnergyRow,
+};
+pub use provenance::{fnv1a, print_provenance, provenance_line};
 pub use sweep::{default_jobs, sweep, timed_sweep, PointCtx, SweepOpts, SweepTiming};
-pub use vmtrace::{run_vm_trace, VmTraceConfig, VmTraceOutcome, VmTraceSample};
+pub use telemetry::{render_shards, TelemetryOpts};
+pub use vmtrace::{run_vm_trace, run_vm_trace_tele, VmTraceConfig, VmTraceOutcome, VmTraceSample};

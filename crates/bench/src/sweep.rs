@@ -49,6 +49,10 @@ pub struct SweepOpts {
     /// Optional request-count override (`--requests N`) for smoke runs;
     /// `None` keeps each figure's paper-scale default.
     pub requests: Option<usize>,
+    /// True when the user pinned `jobs` (via `--jobs` or `GD_JOBS`).
+    /// Provenance headers render `jobs=auto` otherwise, so a snapshot
+    /// never encodes the machine's core count.
+    pub jobs_explicit: bool,
 }
 
 impl Default for SweepOpts {
@@ -56,6 +60,7 @@ impl Default for SweepOpts {
         SweepOpts {
             jobs: default_jobs(),
             requests: None,
+            jobs_explicit: false,
         }
     }
 }
@@ -76,6 +81,7 @@ impl SweepOpts {
         if let Ok(j) = std::env::var("GD_JOBS") {
             if let Ok(j) = j.parse::<usize>() {
                 opts.jobs = j.max(1);
+                opts.jobs_explicit = true;
             }
         }
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,6 +92,7 @@ impl SweepOpts {
                 "--jobs" => {
                     if let Some(j) = value_of(i) {
                         opts.jobs = j.max(1);
+                        opts.jobs_explicit = true;
                         i += 1;
                     }
                 }

@@ -1,0 +1,142 @@
+//! `--telemetry <path>` wiring for the figure/table binaries.
+//!
+//! Each sweep point runs with its own [`Telemetry`] shard (points share no
+//! mutable state, so shards need no locking); the harness merges the
+//! shards **in point order** after the sweep joins, wrapping each one in a
+//! synthetic `sweep.point` span so the merged JSONL reads as one document.
+//! Because the merge order is the point order — never the completion
+//! order — the rendered bytes are identical for any `--jobs N` and for
+//! either time-advance engine.
+
+use gd_obs::{Telemetry, Trace, Value};
+use gd_types::SimTime;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Parsed telemetry options of a figure binary.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOpts {
+    /// Where to write the merged JSONL trace; `None` disables telemetry
+    /// entirely (simulation code then skips all instrumentation).
+    pub path: Option<PathBuf>,
+}
+
+impl TelemetryOpts {
+    /// Parses `--telemetry PATH` from the process arguments (also honoring
+    /// a `GD_TELEMETRY` environment override), ignoring flags it does not
+    /// know about so it composes with the other `from_args` parsers.
+    pub fn from_args() -> Self {
+        let mut opts = TelemetryOpts::default();
+        if let Ok(p) = std::env::var("GD_TELEMETRY") {
+            if !p.is_empty() {
+                opts.path = Some(PathBuf::from(p));
+            }
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--telemetry" {
+                if let Some(p) = args.get(i + 1) {
+                    opts.path = Some(PathBuf::from(p));
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// True when a telemetry sink was requested.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// A fresh per-point shard, or `None` when telemetry is off.
+    #[must_use]
+    pub fn shard(&self) -> Option<Telemetry> {
+        self.enabled().then(Telemetry::new)
+    }
+
+    /// Merges labelled shards in the given (point) order and writes the
+    /// JSONL file. Shards that are `None` (telemetry off, or a point that
+    /// produced nothing) are skipped. Prints a warning (but does not fail
+    /// the figure) if the write is impossible; no-op when disabled.
+    pub fn write(&self, shards: &[(String, Option<Telemetry>)]) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        let payload = render_shards(shards);
+        let write = std::fs::File::create(path).and_then(|mut f| f.write_all(payload.as_bytes()));
+        match write {
+            Ok(()) => println!("[telemetry -> {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Renders labelled shards as one JSONL document, in slice order, each
+/// wrapped in a synthetic `sweep.point` span (stamped at sim time zero:
+/// the wrapper is structural, not temporal — each shard's own events carry
+/// the real sim times).
+#[must_use]
+pub fn render_shards(shards: &[(String, Option<Telemetry>)]) -> String {
+    let mut out = String::new();
+    for (label, tele) in shards {
+        let Some(tele) = tele else {
+            continue;
+        };
+        let mut wrap = Trace::default();
+        wrap.span_open(SimTime::ZERO, "sweep.point");
+        wrap.render_jsonl(label, &mut out);
+        out.push_str(&tele.render_jsonl(label));
+        let mut wrap = Trace::default();
+        wrap.span_close(
+            SimTime::ZERO,
+            "sweep.point",
+            &[("events", Value::U64(tele.trace.events().len() as u64))],
+        );
+        wrap.render_jsonl(label, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_opts_produce_no_shards() {
+        let opts = TelemetryOpts::default();
+        assert!(!opts.enabled());
+        assert!(opts.shard().is_none());
+        opts.write(&[]); // must be a silent no-op
+    }
+
+    #[test]
+    fn shards_merge_in_slice_order_with_wrappers() {
+        let mk = |n: u64| {
+            let mut t = Telemetry::new();
+            t.registry.counter_add("c", n);
+            Some(t)
+        };
+        let out = render_shards(&[("p1".into(), mk(1)), ("p0".into(), mk(2))]);
+        let lines: Vec<&str> = out.lines().collect();
+        // p1 before p0: slice order wins, not label order.
+        assert!(lines[0].contains("\"point\":\"p1\"") && lines[0].contains("sweep.point"));
+        assert!(lines[1].contains("\"counter\"") && lines[1].contains("\"value\":1"));
+        assert!(lines[2].contains("\"span_close\""));
+        assert!(lines[3].contains("\"point\":\"p0\""));
+        // Rendering twice is byte-identical.
+        assert_eq!(
+            out,
+            render_shards(&[("p1".into(), mk(1)), ("p0".into(), mk(2))])
+        );
+    }
+
+    #[test]
+    fn none_shards_are_skipped() {
+        let out = render_shards(&[("p0".into(), None), ("p1".into(), None)]);
+        assert!(out.is_empty());
+    }
+}

@@ -111,6 +111,21 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
 /// Propagates simulator-setup and bookkeeping errors (not kernel-level
 /// off-lining failures, which are part of the experiment).
 pub fn run_vm_trace(cfg: &VmTraceConfig) -> Result<VmTraceOutcome> {
+    Ok(run_vm_trace_tele(cfg, false)?.0)
+}
+
+/// [`run_vm_trace`] with optional telemetry: when `with_telemetry` is
+/// true, the co-simulation records span-scoped daemon ticks and
+/// allocation-stall events as they happen, exports the mm/ksm/daemon books
+/// under the `vm.*` scope at the end, and returns the filled sink.
+///
+/// # Errors
+///
+/// Same as [`run_vm_trace`].
+pub fn run_vm_trace_tele(
+    cfg: &VmTraceConfig,
+    with_telemetry: bool,
+) -> Result<(VmTraceOutcome, Option<gd_obs::Telemetry>)> {
     let azure = AzureConfig {
         duration_s: cfg.duration_s,
         seed: cfg.seed,
@@ -145,6 +160,9 @@ pub fn run_vm_trace(cfg: &VmTraceConfig) -> Result<VmTraceOutcome> {
     let daemon = Daemon::new(gd_cfg, map);
     let ksm = cfg.ksm.then(|| Ksm::new(KsmConfig::default()));
     let mut sim = EpochSim::new(mm, daemon, ksm);
+    if with_telemetry {
+        sim.enable_telemetry();
+    }
 
     // Keyed lookups only (insert/remove by VM id) — never iterated, so the
     // hash order cannot reach any output.
@@ -203,11 +221,16 @@ pub fn run_vm_trace(cfg: &VmTraceConfig) -> Result<VmTraceOutcome> {
         });
     }
     let released = sim.ksm.as_ref().map(|k| k.frames_released()).unwrap_or(0);
-    Ok(VmTraceOutcome {
-        samples,
-        daemon: sim.daemon.stats,
-        ksm_released_pages: released,
-    })
+    sim.export_telemetry("vm");
+    let tele = sim.telemetry.take();
+    Ok((
+        VmTraceOutcome {
+            samples,
+            daemon: sim.daemon.stats,
+            ksm_released_pages: released,
+        },
+        tele,
+    ))
 }
 
 #[cfg(test)]
@@ -235,6 +258,31 @@ mod tests {
         let out = run_vm_trace(&cfg).unwrap();
         assert_eq!(out.mean_offline_blocks(), 0.0);
         assert_eq!(out.daemon.offline_events, 0);
+    }
+
+    #[test]
+    fn telemetry_traces_every_tick() {
+        let cfg = VmTraceConfig {
+            ksm: true,
+            ..VmTraceConfig::short_test()
+        };
+        let (out, tele) = run_vm_trace_tele(&cfg, true).unwrap();
+        let tele = tele.expect("telemetry was enabled");
+        // One span open + close per daemon tick, plus any stall spans. Each
+        // scheduler step covers several daemon tick periods, so the daemon
+        // ticks at least once per sample.
+        let ticks = tele.registry.counter("vm.daemon.ticks");
+        assert!(ticks >= out.samples.len() as u64, "{ticks} daemon ticks");
+        assert!(tele.trace.events().len() as u64 >= 2 * ticks);
+        assert!(tele.registry.counter("vm.ksm.pages_scanned") > 0);
+        assert_eq!(
+            tele.registry.counter("vm.daemon.offline_events"),
+            out.daemon.offline_events
+        );
+        // Disabled telemetry must leave the outcome untouched.
+        let (base, none) = run_vm_trace_tele(&cfg, false).unwrap();
+        assert!(none.is_none());
+        assert_eq!(base.samples, out.samples);
     }
 
     #[test]

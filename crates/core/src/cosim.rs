@@ -11,6 +11,8 @@ use crate::daemon::{Daemon, TickReport};
 use crate::verify::VerifyHarness;
 use gd_ksm::Ksm;
 use gd_mmsim::{AllocationId, MemoryManager, PageKind};
+use gd_obs::{Telemetry, Value};
+use gd_types::ids::SubArrayGroup;
 use gd_types::{Result, SimTime};
 use gd_verify::obs::DaemonTickObs;
 
@@ -105,6 +107,9 @@ pub struct EpochSim {
     pub ksm: Option<Ksm>,
     /// Optional runtime invariant checking (see [`crate::verify`]).
     pub verify: Option<VerifyHarness>,
+    /// Optional deterministic telemetry (see [`gd_obs`]). `None` keeps the
+    /// hot path to a single branch per tick.
+    pub telemetry: Option<Telemetry>,
     now: SimTime,
     next_monitor: SimTime,
 }
@@ -118,9 +123,18 @@ impl EpochSim {
             daemon,
             ksm,
             verify: None,
+            telemetry: None,
             now: SimTime::ZERO,
             next_monitor,
         }
+    }
+
+    /// Enables deterministic telemetry: span events around every daemon
+    /// tick and allocation stall, plus an end-of-run metrics harvest via
+    /// [`export_telemetry`](Self::export_telemetry).
+    pub fn enable_telemetry(&mut self) -> &mut Self {
+        self.telemetry = Some(Telemetry::new());
+        self
     }
 
     /// Enables runtime invariant checking with the standard invariant sets.
@@ -173,7 +187,30 @@ impl EpochSim {
             let fast_path = merged > 0 && self.daemon.config().ksm_fast_path;
             if self.now >= self.next_monitor || fast_path {
                 let free_before = self.mm.meminfo().free_pages;
+                let hotplug_before = self.daemon.stats.hotplug_time;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.trace.span_open(self.now, "daemon.tick");
+                }
                 let r = self.daemon.tick(self.now, &mut self.mm)?;
+                if let Some(t) = self.telemetry.as_mut() {
+                    let info = self.mm.meminfo();
+                    let latency = self.daemon.stats.hotplug_time - hotplug_before;
+                    t.trace.span_close(
+                        self.now,
+                        "daemon.tick",
+                        &[
+                            ("free_before", Value::U64(free_before)),
+                            ("free_after", Value::U64(info.free_pages)),
+                            ("offlined", Value::U64(u64::from(r.offlined))),
+                            ("onlined", Value::U64(u64::from(r.onlined))),
+                            ("failures", Value::U64(u64::from(r.failures))),
+                            ("off_thr", Value::F64(self.daemon.effective_off_thr())),
+                            ("latency_us", Value::U64(latency.as_micros())),
+                        ],
+                    );
+                    t.registry
+                        .counter_add("daemon.tick_latency_us_total", latency.as_micros());
+                }
                 if let Some(v) = &mut self.verify {
                     let info = self.mm.meminfo();
                     let block_pages = self.mm.block_pages();
@@ -214,8 +251,19 @@ impl EpochSim {
                 requested_pages, ..
             }) => {
                 let now = self.now;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.trace.span_open(now, "daemon.allocation_stall");
+                    t.registry.counter_add("daemon.allocation_stalls", 1);
+                }
                 self.daemon
                     .handle_allocation_stall(now, &mut self.mm, requested_pages)?;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.trace.span_close(
+                        now,
+                        "daemon.allocation_stall",
+                        &[("requested_pages", Value::U64(requested_pages))],
+                    );
+                }
                 if let Some(v) = &mut self.verify {
                     // The stall path changed hotplug + register state outside
                     // a monitor tick; re-check the state invariants.
@@ -225,6 +273,53 @@ impl EpochSim {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Harvests end-of-run metrics into the enabled telemetry sink under
+    /// the dotted `scope` prefix: hotplug counters and meminfo gauges from
+    /// the memory manager, KSM scan/merge counters and rates, daemon
+    /// counters, and per-group deep power-down dwell (ns) from the register
+    /// file. No-op when telemetry is disabled.
+    pub fn export_telemetry(&mut self, scope: &str) {
+        let Some(mut tele) = self.telemetry.take() else {
+            return;
+        };
+        let now = self.now;
+        self.mm.export_telemetry(&mut tele, scope);
+        if let Some(ksm) = &self.ksm {
+            ksm.export_telemetry(&mut tele, scope, now);
+        }
+        let s = self.daemon.stats;
+        let reg = &mut tele.registry;
+        reg.counter_add(&format!("{scope}.daemon.ticks"), s.ticks);
+        reg.counter_add(&format!("{scope}.daemon.offline_events"), s.offline_events);
+        reg.counter_add(&format!("{scope}.daemon.online_events"), s.online_events);
+        reg.counter_add(&format!("{scope}.daemon.failures_ebusy"), s.failures_ebusy);
+        reg.counter_add(
+            &format!("{scope}.daemon.failures_eagain"),
+            s.failures_eagain,
+        );
+        reg.counter_add(
+            &format!("{scope}.daemon.hotplug_time_us"),
+            s.hotplug_time.as_micros(),
+        );
+        let regs = self.daemon.registers();
+        for g in 0..regs.groups() {
+            let dwell = regs.residency(SubArrayGroup::new(g), now);
+            if dwell > SimTime::ZERO {
+                reg.residency_add_unit(
+                    &format!("{scope}.daemon.deep_pd_dwell"),
+                    &format!("g{g:02}"),
+                    dwell.as_nanos(),
+                    "ns",
+                );
+            }
+        }
+        reg.gauge_set(
+            &format!("{scope}.daemon.mean_down_fraction"),
+            regs.mean_down_fraction(now),
+        );
+        self.telemetry = Some(tele);
     }
 
     /// Runs the daemon with no workload until off-lining converges (steady
@@ -332,6 +427,33 @@ mod tests {
         fp.clear(&mut s.mm).unwrap();
         assert_eq!(fp.pages(), 0);
         assert_eq!(s.mm.meminfo().used_pages, 0);
+    }
+
+    #[test]
+    fn telemetry_spans_every_tick_and_exports_identically() {
+        let run = || {
+            let mut s = sim();
+            s.enable_telemetry();
+            s.step(SimTime::from_secs(10)).unwrap();
+            s.export_telemetry("test");
+            s
+        };
+        let s = run();
+        let tele = s.telemetry.as_ref().unwrap();
+        // One span_open + span_close pair per monitor tick.
+        assert_eq!(tele.trace.events().len() as u64, s.daemon.stats.ticks * 2);
+        assert_eq!(
+            tele.registry.counter("test.daemon.ticks"),
+            s.daemon.stats.ticks
+        );
+        assert!(tele.registry.counter("test.mm.offline_success") > 0);
+        // Deterministic by construction: two identical runs render the
+        // same bytes.
+        let again = run();
+        assert_eq!(
+            tele.render_jsonl("p"),
+            again.telemetry.as_ref().unwrap().render_jsonl("p")
+        );
     }
 
     #[test]

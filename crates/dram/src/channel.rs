@@ -160,8 +160,7 @@ impl ChannelCtrl {
         !self.queue.is_empty()
     }
 
-    /// Current queue depth (for diagnostics).
-    #[allow(dead_code)]
+    /// Current queue depth (exported as a telemetry gauge).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
     }

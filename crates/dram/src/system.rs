@@ -368,6 +368,55 @@ impl MemorySystem {
             .collect();
         stats
     }
+
+    /// Exports cumulative DRAM telemetry into `tele` under the dotted
+    /// `scope` prefix: per-channel command counters and queue depths,
+    /// per-rank power-state residency histograms (cycles), low-power entry
+    /// counts, and per-group deep power-down dwell (non-zero groups only).
+    ///
+    /// Residency is integrated at transition boundaries, so both
+    /// [`EngineMode`]s export bit-identical values — the property the
+    /// telemetry-determinism tests pin down.
+    pub fn export_telemetry(&mut self, tele: &mut gd_obs::Telemetry, scope: &str) {
+        for ch in &mut self.channels {
+            ch.finish(self.clock);
+        }
+        let reg = &mut tele.registry;
+        reg.counter_add(&format!("{scope}.dram.cycles"), self.clock);
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let p = format!("{scope}.dram.ch{ci}");
+            let c = &ch.counters;
+            reg.counter_add(&format!("{p}.reads"), c.reads);
+            reg.counter_add(&format!("{p}.writes"), c.writes);
+            reg.counter_add(&format!("{p}.activates"), c.activates);
+            reg.counter_add(&format!("{p}.precharges"), c.precharges);
+            reg.counter_add(&format!("{p}.refreshes"), c.refreshes);
+            reg.counter_add(&format!("{p}.row_hits"), c.row_hits);
+            reg.counter_add(&format!("{p}.row_conflicts"), c.row_conflicts);
+            let (pd, sr) = ch.lp_entries();
+            reg.counter_add(&format!("{p}.pd_entries"), pd);
+            reg.counter_add(&format!("{p}.sr_entries"), sr);
+            reg.gauge_set(&format!("{p}.queue_depth"), ch.queue_len() as f64);
+            for (ri, r) in ch.residencies().iter().enumerate() {
+                let key = format!("{p}.rank{ri}");
+                reg.residency_add(&key, "ActiveStandby", r.active_standby);
+                reg.residency_add(&key, "PrechargeStandby", r.precharge_standby);
+                reg.residency_add(&key, "PowerDown", r.power_down);
+                reg.residency_add(&key, "SelfRefresh", r.self_refresh);
+            }
+        }
+        for (g, acc) in self.group_pd_cycles.iter().enumerate() {
+            let live = if self.group_pd[g] {
+                self.clock - self.group_pd_since[g]
+            } else {
+                0
+            };
+            let dwell = acc + live;
+            if dwell > 0 {
+                reg.counter_add(&format!("{scope}.dram.group{g:02}.deep_pd_cycles"), dwell);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +536,26 @@ mod tests {
         // Refreshes happened before the ranks entered self-refresh or the
         // first interval elapsed.
         assert_eq!(stats.reads + stats.writes, 0);
+    }
+
+    #[test]
+    fn telemetry_residency_sums_to_clock() {
+        let mut s = sys(InterleaveMode::Interleaved, LowPowerPolicy::srf_default());
+        s.run_idle(100_000);
+        let mut tele = gd_obs::Telemetry::new();
+        s.export_telemetry(&mut tele, "t");
+        let clock = s.clock();
+        let mut ranks = 0;
+        for (key, h) in tele.registry.residencies() {
+            assert_eq!(h.total(), clock, "residency of {key} must sum to clock");
+            ranks += 1;
+        }
+        let cfg = DramConfig::small_test();
+        assert_eq!(
+            ranks,
+            (cfg.org.channels * cfg.org.ranks_per_channel) as usize
+        );
+        assert_eq!(tele.registry.counter("t.dram.cycles"), clock);
     }
 
     #[test]

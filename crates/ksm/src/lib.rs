@@ -291,6 +291,30 @@ impl Ksm {
         self.stats.pages_sharing
     }
 
+    /// Exports cumulative KSM telemetry into `tele` under `scope`:
+    /// scan/merge counters plus per-second rate gauges over `elapsed`
+    /// simulated time (rates are omitted when `elapsed` is zero).
+    pub fn export_telemetry(&self, tele: &mut gd_obs::Telemetry, scope: &str, elapsed: SimTime) {
+        let reg = &mut tele.registry;
+        let s = &self.stats;
+        reg.counter_add(&format!("{scope}.ksm.pages_scanned"), s.pages_scanned);
+        reg.counter_add(&format!("{scope}.ksm.pages_shared"), s.pages_shared);
+        reg.counter_add(&format!("{scope}.ksm.pages_sharing"), s.pages_sharing);
+        reg.counter_add(&format!("{scope}.ksm.full_passes"), s.full_passes);
+        reg.counter_add(&format!("{scope}.ksm.cow_breaks"), s.cow_breaks);
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            reg.gauge_set(
+                &format!("{scope}.ksm.scan_rate_pps"),
+                s.pages_scanned as f64 / secs,
+            );
+            reg.gauge_set(
+                &format!("{scope}.ksm.merge_rate_pps"),
+                s.pages_sharing as f64 / secs,
+            );
+        }
+    }
+
     /// Advances the daemon by `elapsed` simulated time, merging what the
     /// scan-rate budget allows. Freed frames are returned to `mm` via
     /// [`MemoryManager::shrink`] on the owning allocation.

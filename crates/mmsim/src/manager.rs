@@ -673,6 +673,34 @@ impl MemoryManager {
         self.stats.total_time += latency;
         Ok(latency)
     }
+
+    /// Exports cumulative hotplug telemetry into `tele` under `scope`:
+    /// offline/online event counters, per-errno failure tallies, migrated
+    /// pages, total hotplug time, and current meminfo gauges.
+    pub fn export_telemetry(&self, tele: &mut gd_obs::Telemetry, scope: &str) {
+        let reg = &mut tele.registry;
+        let s = &self.stats;
+        reg.counter_add(&format!("{scope}.mm.offline_success"), s.offline_success);
+        reg.counter_add(&format!("{scope}.mm.offline_ebusy"), s.offline_ebusy);
+        reg.counter_add(&format!("{scope}.mm.offline_eagain"), s.offline_eagain);
+        reg.counter_add(&format!("{scope}.mm.online_count"), s.online_count);
+        reg.counter_add(&format!("{scope}.mm.migrated_pages"), s.migrated_pages);
+        reg.counter_add(
+            &format!("{scope}.mm.hotplug_time_us"),
+            s.total_time.as_micros(),
+        );
+        let info = self.meminfo();
+        reg.gauge_set(&format!("{scope}.mm.free_pages"), info.free_pages as f64);
+        reg.gauge_set(&format!("{scope}.mm.used_pages"), info.used_pages as f64);
+        reg.gauge_set(
+            &format!("{scope}.mm.offline_pages"),
+            info.offline_pages as f64,
+        );
+        reg.gauge_set(
+            &format!("{scope}.mm.offline_blocks"),
+            self.offline_block_count() as f64,
+        );
+    }
 }
 
 #[cfg(test)]

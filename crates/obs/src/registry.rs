@@ -1,0 +1,203 @@
+//! The metrics registry: counters, gauges, and residency histograms.
+//!
+//! All keyed state is `BTreeMap` so iteration (and therefore rendering)
+//! is in key order — never hash order. Values are written by the
+//! simulation's export hooks at well-defined points (end of run, end of
+//! tick), not on the per-request hot path.
+
+use crate::escape_json;
+use std::collections::BTreeMap;
+
+/// A sim-time-weighted residency histogram: how long some entity spent in
+/// each of a small set of named states. Units are whatever the producer
+/// uses consistently (DRAM ranks use memory-clock cycles; group dwell uses
+/// nanoseconds) and are recorded in the `unit` field.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidencyHist {
+    /// Unit of the bin values ("cycles" or "ns").
+    pub unit: &'static str,
+    bins: BTreeMap<String, u64>,
+}
+
+impl ResidencyHist {
+    /// Adds `amount` to the named state's bin.
+    pub fn add(&mut self, state: &str, amount: u64) {
+        *self.bins.entry(state.to_string()).or_insert(0) += amount;
+    }
+
+    /// Total across all bins — for a rank residency this must equal the
+    /// elapsed sim time (the gd-verify invariant).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.values().sum()
+    }
+
+    /// Bins in state-name order.
+    pub fn bins(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.bins.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// The metrics registry. One per [`crate::Telemetry`] shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    residency: BTreeMap<String, ResidencyHist>,
+}
+
+impl Registry {
+    /// Adds to a monotonic counter, creating it at zero.
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets a point-in-time gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Adds residency to `key`'s histogram under `state`, tagging the
+    /// histogram's unit (first writer wins; units must agree per key).
+    pub fn residency_add_unit(&mut self, key: &str, state: &str, amount: u64, unit: &'static str) {
+        let h = self.residency.entry(key.to_string()).or_default();
+        if h.unit.is_empty() {
+            h.unit = unit;
+        }
+        h.add(state, amount);
+    }
+
+    /// [`Self::residency_add_unit`] with the default "cycles" unit.
+    pub fn residency_add(&mut self, key: &str, state: &str, amount: u64) {
+        self.residency_add_unit(key, state, amount, "cycles");
+    }
+
+    /// Counter value, zero when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Residency histograms in key order (for invariant checks).
+    pub fn residencies(&self) -> impl Iterator<Item = (&str, &ResidencyHist)> {
+        self.residency.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.residency.is_empty()
+    }
+
+    /// Renders all metrics as JSONL in kind-then-key order.
+    pub fn render_jsonl(&self, point: &str, out: &mut String) {
+        for (name, v) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"point\":\"");
+            escape_json(point, out);
+            out.push_str("\",\"name\":\"");
+            escape_json(name, out);
+            out.push_str("\",\"value\":");
+            out.push_str(&v.to_string());
+            out.push_str("}\n");
+        }
+        for (name, v) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"point\":\"");
+            escape_json(point, out);
+            out.push_str("\",\"name\":\"");
+            escape_json(name, out);
+            out.push_str("\",\"value\":");
+            out.push_str(&v.to_string());
+            out.push_str("}\n");
+        }
+        for (key, h) in &self.residency {
+            out.push_str("{\"type\":\"residency\",\"point\":\"");
+            escape_json(point, out);
+            out.push_str("\",\"key\":\"");
+            escape_json(key, out);
+            out.push_str("\",\"unit\":\"");
+            out.push_str(h.unit);
+            out.push_str("\",\"bins\":{");
+            let mut first = true;
+            for (state, v) in h.bins() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                escape_json(state, out);
+                out.push_str("\":");
+                out.push_str(&v.to_string());
+            }
+            out.push_str("},\"total\":");
+            out.push_str(&h.total().to_string());
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::default();
+        r.counter_add("x", 2);
+        r.counter_add("x", 3);
+        assert_eq!(r.counter("x"), 5);
+        assert_eq!(r.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::default();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.gauge("absent"), None);
+    }
+
+    #[test]
+    fn residency_totals_and_order() {
+        let mut r = Registry::default();
+        r.residency_add("rank0", "Active", 10);
+        r.residency_add("rank0", "SelfRefresh", 30);
+        r.residency_add("rank0", "Active", 5);
+        let (key, h) = r.residencies().next().unwrap();
+        assert_eq!(key, "rank0");
+        assert_eq!(h.total(), 45);
+        let states: Vec<&str> = h.bins().map(|(s, _)| s).collect();
+        assert_eq!(states, ["Active", "SelfRefresh"]);
+    }
+
+    #[test]
+    fn render_emits_valid_shape() {
+        let mut r = Registry::default();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 0.25);
+        r.residency_add_unit("k", "S", 7, "ns");
+        let mut s = String::new();
+        r.render_jsonl("p0", &mut s);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"counter\",\"point\":\"p0\",\"name\":\"c\",\"value\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"gauge\",\"point\":\"p0\",\"name\":\"g\",\"value\":0.25}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"residency\",\"point\":\"p0\",\"key\":\"k\",\"unit\":\"ns\",\
+             \"bins\":{\"S\":7},\"total\":7}"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The structured event trace: sim-time-stamped events with span scopes.
+//!
+//! Events are appended in simulation order and rendered verbatim in that
+//! order, so the trace is deterministic as long as the simulation is.
+//! Spans are a pair of `span_open`/`span_close` events under the same
+//! name — there is no runtime stack, which keeps the disabled-mode cost
+//! at a single `Option` branch and lets shards merge trivially.
+
+use crate::escape_json;
+use gd_types::SimTime;
+
+/// A field value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with shortest-roundtrip `Display`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => out.push_str(&v.to_string()),
+            Value::Str(s) => {
+                out.push('"');
+                escape_json(s, out);
+                out.push('"');
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// What kind of trace line an event renders as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Span start.
+    SpanOpen,
+    /// Span end (fields describe the span's outcome).
+    SpanClose,
+    /// Instantaneous event.
+    Instant,
+}
+
+impl TraceKind {
+    fn name(self) -> &'static str {
+        match self {
+            TraceKind::SpanOpen => "span_open",
+            TraceKind::SpanClose => "span_close",
+            TraceKind::Instant => "event",
+        }
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated timestamp.
+    pub t: SimTime,
+    /// Line kind.
+    pub kind: TraceKind,
+    /// Event name, dotted-scope style ("daemon.tick", "mm.offline").
+    pub name: String,
+    /// Attached fields, in producer order.
+    pub fields: Vec<(String, Value)>,
+}
+
+/// The event trace. One per [`crate::Telemetry`] shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Opens a span at `now`.
+    pub fn span_open(&mut self, now: SimTime, name: &str) {
+        self.push(now, TraceKind::SpanOpen, name, &[]);
+    }
+
+    /// Closes a span at `now` with outcome fields.
+    pub fn span_close(&mut self, now: SimTime, name: &str, fields: &[(&str, Value)]) {
+        self.push(now, TraceKind::SpanClose, name, fields);
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&mut self, now: SimTime, name: &str, fields: &[(&str, Value)]) {
+        self.push(now, TraceKind::Instant, name, fields);
+    }
+
+    fn push(&mut self, now: SimTime, kind: TraceKind, name: &str, fields: &[(&str, Value)]) {
+        self.events.push(TraceEvent {
+            t: now,
+            kind,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Events in append (= simulation) order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True when no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders all events as JSONL in append order.
+    pub fn render_jsonl(&self, point: &str, out: &mut String) {
+        for ev in &self.events {
+            out.push_str("{\"type\":\"");
+            out.push_str(ev.kind.name());
+            out.push_str("\",\"point\":\"");
+            escape_json(point, out);
+            out.push_str("\",\"t_ns\":");
+            out.push_str(&ev.t.as_nanos().to_string());
+            out.push_str(",\"name\":\"");
+            escape_json(&ev.name, out);
+            out.push('"');
+            if !ev.fields.is_empty() {
+                out.push_str(",\"fields\":{");
+                let mut first = true;
+                for (k, v) in &ev.fields {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push('"');
+                    escape_json(k, out);
+                    out.push_str("\":");
+                    v.render(out);
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_pair_renders_in_order() {
+        let mut tr = Trace::default();
+        tr.span_open(SimTime::from_nanos(100), "daemon.tick");
+        tr.span_close(
+            SimTime::from_nanos(250),
+            "daemon.tick",
+            &[("offlined", Value::U64(3)), ("ok", Value::Bool(true))],
+        );
+        let mut s = String::new();
+        tr.render_jsonl("p", &mut s);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"span_open\",\"point\":\"p\",\"t_ns\":100,\"name\":\"daemon.tick\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"span_close\",\"point\":\"p\",\"t_ns\":250,\"name\":\"daemon.tick\",\
+             \"fields\":{\"offlined\":3,\"ok\":true}}"
+        );
+    }
+
+    #[test]
+    fn instant_event_with_all_value_kinds() {
+        let mut tr = Trace::default();
+        tr.event(
+            SimTime::ZERO,
+            "x",
+            &[
+                ("u", Value::U64(1)),
+                ("i", Value::I64(-2)),
+                ("f", Value::F64(1.5)),
+                ("s", Value::Str("a\"b".into())),
+            ],
+        );
+        let mut s = String::new();
+        tr.render_jsonl("p", &mut s);
+        assert!(s.contains("\"u\":1,\"i\":-2,\"f\":1.5,\"s\":\"a\\\"b\""));
+    }
+
+    #[test]
+    fn events_keep_append_order() {
+        let mut tr = Trace::default();
+        // Deliberately non-monotonic timestamps: the trace must not sort.
+        tr.event(SimTime::from_nanos(5), "b", &[]);
+        tr.event(SimTime::from_nanos(1), "a", &[]);
+        let names: Vec<&str> = tr.events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+}

@@ -27,9 +27,9 @@ struct Hazard {
     why: &'static str,
     /// Tag accepted in a `detlint: allow(<tag>)` annotation.
     tag: &'static str,
-    /// When set, the hazard only applies to files under this
-    /// workspace-relative prefix; `None` applies everywhere.
-    scope: Option<&'static str>,
+    /// When non-empty, the hazard only applies to files under one of these
+    /// workspace-relative prefixes; empty applies everywhere.
+    scope: &'static [&'static str],
 }
 
 const HAZARDS: &[Hazard] = &[
@@ -37,37 +37,38 @@ const HAZARDS: &[Hazard] = &[
         needle: concat!("from_", "entropy"),
         why: "entropy-seeded RNG; seed from the configuration instead",
         tag: "entropy",
-        scope: None,
+        scope: &[],
     },
     Hazard {
         needle: concat!("thread_", "rng"),
         why: "thread-local entropy RNG; use gd_types::rng with a fixed seed",
         tag: "entropy",
-        scope: None,
+        scope: &[],
     },
     Hazard {
         needle: concat!("SystemTime::", "now"),
         why: "wall-clock read; simulated time comes from SimTime",
         tag: "wallclock",
-        scope: None,
+        scope: &[],
     },
     Hazard {
         needle: concat!("Instant::", "now"),
         why: "wall-clock read; use SimTime or cycle counters",
         tag: "instant",
-        scope: None,
+        scope: &[],
     },
     // The sweep pool promises results in point-index order regardless of
     // thread schedule; a hash map in the results path would silently break
-    // that (completion-order or hash-order output). Lookup-only maps may
-    // opt out line-by-line.
+    // that (completion-order or hash-order output). The telemetry crate
+    // additionally promises byte-identical rendering, so hash order is
+    // banned there outright. Lookup-only maps may opt out line-by-line.
     Hazard {
         needle: concat!("Hash", "Map"),
-        why: "nondeterministic iteration order in the sweep/figure path; \
-              collect into a Vec ordered by point index (or BTreeMap), or \
-              annotate a lookup-only map",
+        why: "nondeterministic iteration order in the sweep/figure/telemetry \
+              path; collect into a Vec ordered by point index (or BTreeMap), \
+              or annotate a lookup-only map",
         tag: "maporder",
-        scope: Some("crates/bench"),
+        scope: &["crates/bench", "crates/obs"],
     },
 ];
 
@@ -147,10 +148,8 @@ fn scan(file: &Path, text: &str, out: &mut Vec<Finding>) {
             continue; // prose may name the hazards
         }
         for hazard in HAZARDS {
-            if let Some(scope) = hazard.scope {
-                if !file.starts_with(scope) {
-                    continue;
-                }
+            if !hazard.scope.is_empty() && !hazard.scope.iter().any(|s| file.starts_with(s)) {
+                continue;
             }
             if !line.contains(hazard.needle) {
                 continue;
@@ -193,13 +192,23 @@ mod tests {
     fn flags_each_hazard_class() {
         for h in HAZARDS {
             let src = format!("let x = {}();", h.needle);
-            let path = match h.scope {
-                Some(scope) => format!("{scope}/src/x.rs"),
-                None => "crates/x/src/x.rs".to_string(),
+            // Every scope prefix (or an arbitrary path for global hazards)
+            // must trip the gate.
+            let paths: Vec<String> = if h.scope.is_empty() {
+                vec!["crates/x/src/x.rs".to_string()]
+            } else {
+                h.scope.iter().map(|s| format!("{s}/src/x.rs")).collect()
             };
-            let mut findings = Vec::new();
-            scan(Path::new(&path), &src, &mut findings);
-            assert_eq!(findings.len(), 1, "hazard `{}` did not fire", h.needle);
+            for path in paths {
+                let mut findings = Vec::new();
+                scan(Path::new(&path), &src, &mut findings);
+                assert_eq!(
+                    findings.len(),
+                    1,
+                    "hazard `{}` did not fire in {path}",
+                    h.needle
+                );
+            }
         }
     }
 
@@ -212,6 +221,8 @@ mod tests {
         assert!(findings.is_empty(), "maporder fired outside its scope");
         scan(Path::new("crates/bench/src/x.rs"), &src, &mut findings);
         assert_eq!(findings.len(), 1, "maporder must fire inside crates/bench");
+        scan(Path::new("crates/obs/src/x.rs"), &src, &mut findings);
+        assert_eq!(findings.len(), 2, "maporder must fire inside crates/obs");
     }
 
     #[test]

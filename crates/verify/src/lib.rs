@@ -12,7 +12,8 @@
 //!   violation);
 //! * the [`mm`], [`ksm`], and [`obs`] modules provide the standard
 //!   invariant sets for the physical-memory simulator, the KSM simulator,
-//!   and the GreenDIMM daemon's observable behaviour.
+//!   and the GreenDIMM daemon's observable behaviour; [`telemetry`] checks
+//!   exported gd-obs data (residency histograms sum to elapsed sim time).
 //!
 //! The DRAM command-protocol validator lives with the command log it
 //! replays, in [`gd_dram::validate`]; this crate covers everything above
@@ -23,6 +24,7 @@
 pub mod ksm;
 pub mod mm;
 pub mod obs;
+pub mod telemetry;
 
 use gd_types::{GdError, Result};
 use std::fmt;

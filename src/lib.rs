@@ -12,6 +12,7 @@
 //! * [`ksm`] — the kernel samepage merging simulator.
 //! * [`workloads`] — benchmark profiles, trace generators, and the Azure VM
 //!   trace synthesizer.
+//! * [`obs`] — deterministic telemetry: metrics registry and JSONL trace.
 //! * [`baselines`] — self-refresh-only, RAMZzz, and PASR governors.
 //! * [`verify`] — the cross-crate invariant checker and determinism gate.
 //! * [`core`] — the GreenDIMM daemon and full-system co-simulation.
@@ -31,6 +32,7 @@ pub use gd_bench as bench;
 pub use gd_dram as dram;
 pub use gd_ksm as ksm;
 pub use gd_mmsim as mmsim;
+pub use gd_obs as obs;
 pub use gd_power as power;
 pub use gd_types as types;
 pub use gd_verify as verify;

@@ -12,11 +12,14 @@
 //!   and arrive in point-index order regardless of thread schedule.
 
 use greendimm_suite::bench::sweep;
+use greendimm_suite::bench::telemetry::render_shards;
 use greendimm_suite::dram::{
     AddressMapper, EngineMode, LowPowerPolicy, MemRequest, MemorySystem, RunStats,
 };
+use greendimm_suite::obs::Telemetry;
 use greendimm_suite::types::config::{DramConfig, InterleaveMode};
 use greendimm_suite::types::ids::SubArrayGroup;
+use greendimm_suite::verify;
 use greendimm_suite::workloads::{by_name, TraceGenerator};
 
 const MODES: [InterleaveMode; 2] = [InterleaveMode::Interleaved, InterleaveMode::Linear];
@@ -187,4 +190,80 @@ fn sweep_jobs_equivalent_and_ordered() {
     for (expect, (index, _)) in parallel.iter().enumerate() {
         assert_eq!(*index, expect, "results not in point-index order");
     }
+}
+
+/// Runs a profile trace through one engine and exports its telemetry.
+fn telemetry_of(cfg: &DramConfig, engine: EngineMode, trace: &[MemRequest]) -> (RunStats, String) {
+    let mut sys = MemorySystem::new(*cfg, LowPowerPolicy::srf_default())
+        .unwrap()
+        .with_engine_mode(engine);
+    let stats = sys.run_trace(trace.to_vec()).unwrap();
+    let mut tele = Telemetry::new();
+    sys.export_telemetry(&mut tele, "eq");
+    (stats, tele.render_jsonl("p0"))
+}
+
+/// The telemetry export — counters, residency histograms, gauges — must
+/// render byte-identical JSONL whichever engine produced it, and the
+/// residency histograms must account for every elapsed cycle per rank.
+#[test]
+fn telemetry_identical_across_engines() {
+    for mode in MODES {
+        let cfg = DramConfig::small_test().with_interleave(mode);
+        let mut generator = TraceGenerator::new(by_name("mcf").unwrap(), 23);
+        let trace = fold_into(&cfg, generator.take(1500));
+        let (a_stats, a) = telemetry_of(&cfg, EngineMode::Stepped, &trace);
+        let (b_stats, b) = telemetry_of(&cfg, EngineMode::EventDriven, &trace);
+        assert_eq!(a_stats, b_stats, "run stats diverged under {mode:?}");
+        assert_eq!(a, b, "telemetry bytes diverged under {mode:?}");
+        assert!(!a.is_empty());
+
+        // Residency completeness: each rank's histogram sums to the clock.
+        let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())
+            .unwrap()
+            .with_engine_mode(EngineMode::EventDriven);
+        let stats = sys.run_trace(trace.clone()).unwrap();
+        let mut tele = Telemetry::new();
+        sys.export_telemetry(&mut tele, "eq");
+        let violations = verify::telemetry::check_residencies(
+            &tele.registry,
+            "eq.dram.",
+            stats.cycles,
+            verify::Mode::Strict,
+        )
+        .unwrap();
+        assert_eq!(violations, 0);
+    }
+}
+
+/// Merged telemetry shards from the sweep pool must be byte-identical for
+/// `--jobs 1` and `--jobs 4`: shards merge in point-index order, never
+/// completion order, so the worker count cannot leak into the output.
+#[test]
+fn telemetry_shards_identical_across_job_counts() {
+    let cfg = DramConfig::small_test();
+    let points: Vec<u64> = (0..8).collect();
+    let run_point = |ctx: sweep::PointCtx, &gap: &u64| -> (String, Option<Telemetry>) {
+        let seed = ctx.seed(7);
+        let mut generator = TraceGenerator::new(by_name("mcf").unwrap(), seed);
+        let trace: Vec<_> = fold_into(&cfg, generator.take(300))
+            .into_iter()
+            .map(|mut r| {
+                r.arrival += gap * 500;
+                r
+            })
+            .collect();
+        let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default()).unwrap();
+        sys.run_trace(trace).unwrap();
+        let mut tele = Telemetry::new();
+        sys.export_telemetry(&mut tele, "eq");
+        (format!("pt{gap}"), Some(tele))
+    };
+    let serial = render_shards(&sweep::sweep(&points, 1, run_point));
+    let parallel = render_shards(&sweep::sweep(&points, 4, run_point));
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "merged telemetry diverged between --jobs 1 and --jobs 4"
+    );
 }

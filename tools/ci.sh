@@ -22,8 +22,32 @@ cargo run --quiet -p gd-verify --bin detlint
 echo "==> engine equivalence (stepped vs event-driven, serial vs parallel sweep)"
 cargo test --quiet --release --test engine_equivalence
 
+echo "==> telemetry determinism (byte-identical across engines and job counts)"
+cargo test --quiet --release --test engine_equivalence telemetry
+
+echo "==> snapshot staleness (fig05 regenerated at HEAD must match the committed snapshot)"
+cargo run --quiet --release -p gd-bench --bin fig05_addrmap > /tmp/fig05_addrmap.ci.txt
+diff -u results/fig05_addrmap.txt /tmp/fig05_addrmap.ci.txt || {
+  echo "ERROR: results/fig05_addrmap.txt is stale — regenerate results/*.txt and commit" >&2
+  exit 1
+}
+rm -f /tmp/fig05_addrmap.ci.txt
+
 echo "==> sweep smoke (fig03, --jobs 2, trimmed request count)"
 cargo run --quiet --release -p gd-bench --bin fig03_interleaving -- --jobs 2 --requests 6000 \
   > /dev/null
+
+echo "==> telemetry smoke (fig03 JSONL dump is non-empty and parseable shape)"
+cargo run --quiet --release -p gd-bench --bin fig03_interleaving -- --jobs 2 --requests 6000 \
+  --telemetry /tmp/fig03_telemetry.ci.jsonl > /dev/null
+test -s /tmp/fig03_telemetry.ci.jsonl || {
+  echo "ERROR: --telemetry produced an empty file" >&2
+  exit 1
+}
+head -1 /tmp/fig03_telemetry.ci.jsonl | grep -q '^{"type":' || {
+  echo "ERROR: telemetry JSONL has unexpected shape" >&2
+  exit 1
+}
+rm -f /tmp/fig03_telemetry.ci.jsonl
 
 echo "==> all checks passed"
