@@ -18,7 +18,7 @@ fn bench(name: &str, mut f: impl FnMut()) {
     // Warm-up and calibration.
     let mut iters = 1u64;
     loop {
-        let t0 = Instant::now(); // detlint: allow(instant)
+        let t0 = Instant::now(); // detlint: allow(instant) gd-lint: allow(sim-purity)
         for _ in 0..iters {
             f();
         }
@@ -31,7 +31,7 @@ fn bench(name: &str, mut f: impl FnMut()) {
     // Measurement: best of three batches.
     let mut best_ns = f64::INFINITY;
     for _ in 0..3 {
-        let t0 = Instant::now(); // detlint: allow(instant)
+        let t0 = Instant::now(); // detlint: allow(instant) gd-lint: allow(sim-purity)
         for _ in 0..iters {
             f();
         }

@@ -6,7 +6,7 @@ use gd_baselines::{
 use gd_dram::{LowPowerPolicy, MemorySystem, TimingChecker};
 use gd_power::{ActivityProfile, DramPowerModel, SystemPowerModel};
 use gd_types::config::{DramConfig, InterleaveMode};
-use gd_types::{GdError, Result};
+use gd_types::{Cycles, GdError, Result};
 use gd_workloads::{estimate_runtime, AppProfile, TraceGenerator};
 
 /// Options for the measurement/evaluation pipeline behind Figs. 3/9/10.
@@ -147,8 +147,9 @@ pub fn measure_app_tele(
     //     sustained (requests per cycle), which captures the serialization
     //     that makes interleaving matter (Fig. 3a).
     let t = cfg.timing;
-    let unloaded_latency = (t.t_rcd + t.cl + t.burst_cycles() + 8) as f64;
-    let delivered_per_cycle = (stats.reads + stats.writes) as f64 / stats.cycles.max(1) as f64;
+    let unloaded_latency = Cycles::new(t.t_rcd + t.cl + t.burst_cycles() + 8).as_f64();
+    let delivered_per_cycle =
+        (stats.reads + stats.writes) as f64 / Cycles::new(stats.cycles.max(1)).as_f64();
     // Little's law: a core keeping at most MLP misses outstanding perceives
     // latency no larger than MLP / throughput, however long the open-loop
     // probe's queues grew.

@@ -261,9 +261,9 @@ where
     F: Fn(PointCtx, &T) -> R + Sync,
 {
     assert_eq!(points.len(), labels.len(), "one label per sweep point");
-    let t0 = Instant::now(); // detlint: allow(instant)
+    let t0 = Instant::now(); // detlint: allow(instant) gd-lint: allow(sim-purity)
     let timed: Vec<(R, f64)> = sweep(points, jobs, |ctx, p| {
-        let p0 = Instant::now(); // detlint: allow(instant)
+        let p0 = Instant::now(); // detlint: allow(instant) gd-lint: allow(sim-purity)
         let r = f(ctx, p);
         (r, p0.elapsed().as_secs_f64())
     });

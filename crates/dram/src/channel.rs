@@ -268,8 +268,9 @@ impl ChannelCtrl {
             }
             if now >= self.ranks[ri].refresh_until {
                 let until = now + self.timing.t_rfc;
-                for bi in 0..self.banks_per_rank {
-                    self.banks[ri * self.banks_per_rank + bi].block_until(until);
+                let base = ri * self.banks_per_rank;
+                for bank in self.banks.iter_mut().skip(base).take(self.banks_per_rank) {
+                    bank.block_until(until);
                 }
                 let rank = &mut self.ranks[ri];
                 rank.refresh_until = until;

@@ -180,7 +180,10 @@ impl RankCtl {
     pub fn act_allowed_at(&self, bank_group: usize) -> u64 {
         let faw = if self.act_window.len() == 4 {
             // 4 ACTs in the window: the oldest + tFAW gates the next.
-            *self.act_window.back().unwrap()
+            self.act_window
+                .back()
+                .copied()
+                .expect("invariant: a 4-entry ACT window has a back")
         } else {
             0
         };

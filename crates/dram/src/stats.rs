@@ -2,6 +2,7 @@
 
 use crate::rank::RankResidency;
 use gd_types::stats::Summary;
+use gd_types::Cycles;
 
 /// Command and event counts plus residency, for one full run of the memory
 /// system. Everything the IDD power model needs to integrate energy.
@@ -81,7 +82,8 @@ impl RunStats {
             return 0.0;
         }
         let sum: u64 = self.group_deep_pd_cycles.iter().sum();
-        sum as f64 / (self.group_deep_pd_cycles.len() as u64 * self.cycles) as f64
+        let denom = Cycles::new(self.cycles).as_f64() * self.group_deep_pd_cycles.len() as f64;
+        sum as f64 / denom
     }
 
     /// Requests served per kilocycle (a throughput measure).
@@ -89,7 +91,7 @@ impl RunStats {
         if self.cycles == 0 {
             0.0
         } else {
-            (self.reads + self.writes) as f64 * 1000.0 / self.cycles as f64
+            (self.reads + self.writes) as f64 * 1000.0 / Cycles::new(self.cycles).as_f64()
         }
     }
 }

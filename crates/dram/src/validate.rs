@@ -343,8 +343,7 @@ impl TimingChecker {
                         t.t_rrd_l,
                     ));
                     pending.extend(check(rank.last_ref, "tRFC", t.t_rfc));
-                    if rank.acts.len() >= 4 {
-                        let fourth_back = rank.acts[rank.acts.len() - 4];
+                    if let Some(fourth_back) = rank.acts.iter().rev().nth(3).copied() {
                         if rec.cycle < fourth_back + t.t_faw {
                             pending.push(TimingViolation {
                                 record: *rec,

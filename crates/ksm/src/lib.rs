@@ -460,7 +460,7 @@ impl Ksm {
             *self
                 .regions
                 .get_mut(&rid)
-                .unwrap()
+                .expect("invariant: scanned region stays registered during scan")
                 .originals
                 .entry(k)
                 .or_insert(0) += 1;
@@ -493,7 +493,7 @@ impl Ksm {
             *self
                 .regions
                 .get_mut(&rid)
-                .unwrap()
+                .expect("invariant: scanned region stays registered during scan")
                 .merged
                 .entry(k)
                 .or_insert(0) += n;
@@ -533,7 +533,9 @@ impl Ksm {
         if to_break == merged {
             r.merged.remove(&k);
         } else {
-            *r.merged.get_mut(&k).unwrap() -= to_break;
+            *r.merged
+                .get_mut(&k)
+                .expect("invariant: partial CoW break leaves the merged entry") -= to_break;
         }
         // The pages now hold private (volatile) content.
         r.unique_pages += to_break;

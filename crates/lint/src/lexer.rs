@@ -1,0 +1,594 @@
+//! A self-contained Rust lexer producing spanned tokens.
+//!
+//! The workspace has no external dependencies (no `syn`), so gd-lint
+//! carries its own tokenizer. It understands everything the lints need to
+//! be comment- and string-safe: line and (nested) block comments, string /
+//! raw-string / byte-string / C-string literals, character literals vs.
+//! lifetimes, raw identifiers, and numeric literals with suffixes.
+//!
+//! Comments are not tokens: they are collected separately so the engine
+//! can recognize `// gd-lint: allow(<rule>)` opt-out directives without
+//! the lints ever seeing prose. String literal *contents* likewise never
+//! reach the lints — only a `Str`-kind token marking the spot — which is
+//! what lets rule tables in this crate spell hazard names in plain string
+//! literals without flagging themselves.
+
+use std::fmt;
+
+/// What a token is. Identifier and keyword text is kept verbatim;
+/// literal text is kept so lints can inspect e.g. empty `expect("")`
+/// messages or integer magnitudes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `as`, `r#match` → `match`).
+    Ident(String),
+    /// Lifetime such as `'a` (without the quote).
+    Lifetime(String),
+    /// Integer literal, verbatim (`0x1F`, `1_000u64`).
+    Int(String),
+    /// Float literal, verbatim (`1.5e-3`, `2.0f32`).
+    Float(String),
+    /// Any string-like literal (`"…"`, `r#"…"#`, `b"…"`, `c"…"`). The
+    /// payload is the literal *contents* (escapes unprocessed).
+    Str(String),
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`+`, `.`, `:`; multi-char
+    /// operators appear as adjacent punct tokens).
+    Punct(char),
+    /// Opening delimiter: `(`, `[`, or `{`.
+    Open(char),
+    /// Closing delimiter: `)`, `]`, or `}`.
+    Close(char),
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier/keyword.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with the line span it covers (block comments may span
+/// several lines; directives are attributed to every covered line).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub first_line: u32,
+    pub last_line: u32,
+}
+
+/// Lexer failure (unterminated literal or comment). The engine reports
+/// these as findings of the pseudo-rule `parse-error` rather than
+/// silently skipping the file.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+/// Lexer output: the token stream plus side tables.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub errors: Vec<LexError>,
+}
+
+/// Tokenizes `src`, collecting comments separately.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+    errors: Vec<LexError>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking line/column. Multi-byte UTF-8
+    /// continuation bytes do not advance the column; positions are
+    /// therefore character-accurate for ASCII and close enough for the
+    /// occasional non-ASCII char in prose.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32, col: u32) {
+        self.tokens.push(Token { kind, line, col });
+    }
+
+    fn error(&mut self, line: u32, col: u32, message: &str) {
+        self.errors.push(LexError {
+            line,
+            col,
+            message: message.to_string(),
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(line, col),
+                b'\'' => self.char_or_lifetime(line, col),
+                b'(' | b'[' | b'{' => {
+                    self.bump();
+                    self.push(TokKind::Open(b as char), line, col);
+                }
+                b')' | b']' | b'}' => {
+                    self.bump();
+                    self.push(TokKind::Close(b as char), line, col);
+                }
+                b'0'..=b'9' => self.number(line, col),
+                b if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.ident_like(line, col)
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(b as char), line, col);
+                }
+            }
+        }
+        Lexed {
+            tokens: self.tokens,
+            comments: self.comments,
+            errors: self.errors,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let first_line = self.line;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.comments.push(Comment {
+            text,
+            first_line,
+            last_line: first_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let (first_line, col) = (self.line, self.col);
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    self.error(first_line, col, "unterminated block comment");
+                    break;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.comments.push(Comment {
+            text,
+            first_line,
+            last_line: self.line,
+        });
+    }
+
+    /// Lexes a `"…"` string starting at the current quote.
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b'"') => {
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.bump();
+                    self.push(TokKind::Str(text), line, col);
+                    return;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    self.error(line, col, "unterminated string literal");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Lexes `r"…"` / `r#"…"#` style raw strings; the caller has already
+    /// consumed the prefix up to (not including) the `r`.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        self.bump(); // `r`
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some(b'"') {
+            // `r#foo`: a raw identifier, not a raw string. Re-lex the
+            // identifier; the consumed hashes can only have been one.
+            self.ident_body(line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    // A closing quote must be followed by `hashes` hashes.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek_at(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        self.push(TokKind::Str(text), line, col);
+                        return;
+                    }
+                    self.bump();
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => {
+                    self.error(line, col, "unterminated raw string literal");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // `'`
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                // Consume up to the closing quote (covers `\u{…}`).
+                while let Some(b) = self.peek() {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, line, col);
+            }
+            Some(b) if b == b'_' || b.is_ascii_alphanumeric() => {
+                // `'a'` is a char; `'a` followed by anything else is a
+                // lifetime (including `'static`).
+                if self.peek_at(1) == Some(b'\'') && !ident_continue(self.peek_at(2)) {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, line, col);
+                } else {
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+                    {
+                        self.bump();
+                    }
+                    let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(TokKind::Lifetime(name), line, col);
+                }
+            }
+            Some(_) => {
+                // Non-alphanumeric char literal like `' '` or `'+'`.
+                self.bump();
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, line, col);
+            }
+            None => self.error(line, col, "unterminated character literal"),
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'0')
+            && matches!(
+                self.peek_at(1),
+                Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+            )
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek()
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                self.bump();
+            }
+            // A decimal point only belongs to the number when followed by
+            // a digit (so `1.max(2)` and `tuple.0.1` lex as punct `.`).
+            if self.peek() == Some(b'.') && self.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+                while self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(), Some(b'e' | b'E'))
+                && (self.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+                    || (matches!(self.peek_at(1), Some(b'+' | b'-'))
+                        && self.peek_at(2).is_some_and(|b| b.is_ascii_digit())))
+            {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    self.bump();
+                }
+            }
+            // Suffix (`u64`, `f32`, …). An `f` suffix makes it a float.
+            if self.peek().is_some_and(|b| b.is_ascii_alphabetic()) {
+                if matches!(self.peek(), Some(b'f' | b'F')) {
+                    is_float = true;
+                }
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = if is_float {
+            TokKind::Float(text)
+        } else {
+            TokKind::Int(text)
+        };
+        self.push(kind, line, col);
+    }
+
+    fn ident_like(&mut self, line: u32, col: u32) {
+        // String-literal prefixes: r"", b"", br"", c"", cr"", b''.
+        let b0 = self.peek();
+        let b1 = self.peek_at(1);
+        let b2 = self.peek_at(2);
+        match (b0, b1, b2) {
+            (Some(b'r'), Some(b'"' | b'#'), _) => {
+                self.raw_string(line, col);
+                return;
+            }
+            (Some(b'b' | b'c'), Some(b'"'), _) => {
+                self.bump();
+                self.string(line, col);
+                return;
+            }
+            (Some(b'b' | b'c'), Some(b'r'), Some(b'"' | b'#')) => {
+                self.bump();
+                self.raw_string(line, col);
+                return;
+            }
+            (Some(b'b'), Some(b'\''), _) => {
+                self.bump();
+                self.char_or_lifetime(line, col);
+                return;
+            }
+            _ => {}
+        }
+        self.ident_body(line, col);
+    }
+
+    fn ident_body(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.bump();
+        }
+        let mut name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // Normalize raw identifiers (`r#match` arrives here as `r` …
+        // actually handled in raw_string fallback; strip a leading `r#`
+        // if one slipped through).
+        if let Some(stripped) = name.strip_prefix("r#") {
+            name = stripped.to_string();
+        }
+        self.push(TokKind::Ident(name), line, col);
+    }
+}
+
+fn ident_continue(b: Option<u8>) -> bool {
+    b.is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let a = 1; // trailing\n/* block\nspanning */ let b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].first_line, 1);
+        assert_eq!(l.comments[1].first_line, 2);
+        assert_eq!(l.comments[1].last_line, 3);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| !matches!(&t.kind, TokKind::Ident(s) if s == "block")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens[0].is_ident("fn"));
+        assert!(l.errors.is_empty());
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "Instant::now() inside a string";"#);
+        assert!(toks
+            .iter()
+            .all(|k| !matches!(k, TokKind::Ident(s) if s == "Instant")));
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Str(s) if s.contains("Instant"))));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"quote " inside"#; let t = 1;"###);
+        assert!(l.errors.is_empty());
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Str(s) if s.contains("quote"))));
+        assert!(l.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'static_name; }");
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Lifetime(s) if s == "a")));
+        assert!(toks.iter().any(|k| matches!(k, TokKind::Char)));
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Lifetime(s) if s == "static_name")));
+    }
+
+    #[test]
+    fn numbers_and_method_calls_on_literals() {
+        let toks = kinds("let a = 1.max(2); let b = 1.5e-3; let c = 0xFFu64; let d = 2f64;");
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Int(s) if s == "1")));
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Float(s) if s == "1.5e-3")));
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Int(s) if s == "0xFFu64")));
+        assert!(toks
+            .iter()
+            .any(|k| matches!(k, TokKind::Float(s) if s == "2f64")));
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let l = lex("fn main() {\n    let x = 1;\n}");
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error_not_a_hang() {
+        let l = lex("let s = \"oops");
+        assert_eq!(l.errors.len(), 1);
+    }
+}

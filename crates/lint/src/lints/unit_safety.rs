@@ -1,0 +1,169 @@
+//! `unit-safety`: unit-carrying values cross type boundaries only
+//! through the gd-types newtype methods.
+//!
+//! The workspace mixes cycles, picoseconds, and joules; the newtypes
+//! (`Cycles`, `SimTime`) exist so those never collide silently. This
+//! rule flags, outside test code:
+//!
+//! - **raw casts** — `x as u64` / `x as f64` where the cast source names
+//!   a unit-carrying quantity (`cycles`, `*_ps`, `energy_*`, `*_pj`, …).
+//!   Conversions belong in audited methods (`Cycles::as_u64`,
+//!   `SimTime::as_secs_f64`, `Cycles::as_f64`), not ad-hoc casts at use
+//!   sites. `crates/types` itself is exempt: that is where the audited
+//!   conversion points live.
+//! - **bare magnitude constants** — arithmetic (`+ - *`) combining a
+//!   unit-named value with an integer literal of magnitude ≥ 1000 or
+//!   written with digit grouping (`1_000`): a constant that large next
+//!   to a unit-carrying name is almost always a unit conversion factor
+//!   that should be a named constant or newtype method. Small literals
+//!   (`cycles + 1`) are normal stepping and stay legal.
+//!
+//! The heuristic is name-based (no type inference); names are chosen so
+//! counts (`reads`, `hits`) never trip it.
+
+use super::{in_scope, postfix_chain_idents, Lint};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Numeric primitive targets a flagged cast can have.
+const NUM_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// True when an identifier names a unit-carrying quantity.
+pub fn is_unit_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    if lower.contains("cycle") || lower.contains("energy") || lower.contains("joule") {
+        return true;
+    }
+    if lower.contains("simtime") || lower.contains("sim_time") {
+        return true;
+    }
+    // Suffix units: picoseconds, picojoules.
+    lower.ends_with("_ps") || lower.ends_with("_pj") || lower == "ps" || lower == "pj"
+}
+
+/// True for an integer literal that reads as a magnitude/conversion
+/// constant: digit grouping, or value ≥ 1000.
+fn is_magnitude_literal(text: &str) -> bool {
+    if text.contains('_') {
+        return true;
+    }
+    // Strip a type suffix (`1000u64`) and parse; hex/octal/binary
+    // literals are bit patterns, not magnitudes.
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    let digits: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<u64>().map(|v| v >= 1000).unwrap_or(false)
+}
+
+pub struct UnitSafety;
+
+impl Lint for UnitSafety {
+    fn id(&self) -> &'static str {
+        "unit-safety"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "cycles, picoseconds, and joules must convert through the gd-types \
+         newtype methods so units cannot collide silently"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // gd-types hosts the audited conversion points; the lint crate's
+        // fixtures describe casts in prose and tables.
+        if in_scope(file, &["crates/types"]) {
+            return;
+        }
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if file.in_test[i] {
+                continue;
+            }
+            // Raw cast: `<expr> as <numeric type>`.
+            if t.is_ident("as")
+                && tokens
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .is_some_and(|ty| NUM_TYPES.contains(&ty))
+            {
+                let chain = postfix_chain_idents(file, i);
+                // A unit-neutralizing tail (`cycles_vec.len()`) yields a
+                // count, not a unit, however the receiver is named.
+                let tail_neutral = chain
+                    .last()
+                    .and_then(|&k| tokens[k].ident())
+                    .is_some_and(|n| matches!(n, "len" | "count" | "is_empty" | "capacity"));
+                if tail_neutral {
+                    continue;
+                }
+                let suspect = chain
+                    .iter()
+                    .rev()
+                    .find(|&&k| is_unit_name(tokens[k].ident().unwrap_or("")));
+                if let Some(&k) = suspect {
+                    let name = tokens[k].ident().unwrap_or("?");
+                    let ty = tokens[i + 1].ident().unwrap_or("?");
+                    out.push(Finding::new(
+                        self.id(),
+                        file,
+                        t.line,
+                        t.col,
+                        format!(
+                            "raw `as {ty}` cast of unit-carrying `{name}`; convert \
+                             through a gd-types newtype method instead"
+                        ),
+                        self.rationale(),
+                    ));
+                }
+                continue;
+            }
+            // Bare magnitude constant next to a unit-carrying name.
+            if let TokKind::Punct(op @ ('+' | '-' | '*')) = t.kind {
+                // Skip compound forms that are not binary arithmetic:
+                // `+=`, `->`, `*const`, unary minus after `(`/`=`/`,`.
+                if tokens
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_punct('=') || n.is_punct('>'))
+                {
+                    continue;
+                }
+                let lhs_lit = i > 0
+                    && matches!(&tokens[i - 1].kind, TokKind::Int(s) if is_magnitude_literal(s));
+                let rhs_lit = matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokKind::Int(s)) if is_magnitude_literal(s));
+                let (lit_side, name_side) = if rhs_lit {
+                    // `expr op LIT`: the unit name is the expression tail.
+                    (i + 1, postfix_chain_idents(file, i).last().copied())
+                } else if lhs_lit {
+                    // `LIT op ident…`: look at the identifier right after.
+                    let name = tokens.get(i + 1).and_then(|t| t.ident()).map(|_| i + 1);
+                    (i - 1, name)
+                } else {
+                    continue;
+                };
+                let Some(k) = name_side else { continue };
+                let name = tokens[k].ident().unwrap_or("");
+                if is_unit_name(name) {
+                    let TokKind::Int(lit) = &tokens[lit_side].kind else {
+                        continue;
+                    };
+                    out.push(Finding::new(
+                        self.id(),
+                        file,
+                        t.line,
+                        t.col,
+                        format!(
+                            "bare magnitude constant `{lit}` combined (`{op}`) with \
+                             unit-carrying `{name}`; name the constant or use a \
+                             newtype conversion"
+                        ),
+                        self.rationale(),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Per-file analysis context: token stream plus the structural side
+//! tables every lint needs.
+//!
+//! On top of the raw token stream this module computes
+//!
+//! - **delimiter matching** (`match_close[i]` = index of the closing
+//!   token for an `Open` at `i`),
+//! - **test regions**: which tokens live under `#[cfg(test)]` / `#[test]`
+//!   / `#[bench]` items (attribute + following braced body), so lints can
+//!   exempt test code structurally instead of by substring,
+//! - **allow directives**: `gd-lint: allow(<rule>[, <rule>…])` comments,
+//!   honored on the offending line or the line directly above it,
+//! - the **fixture path override**: a `gd-lint-fixture: path=<rel>`
+//!   header comment remaps the file's workspace-relative path so fixture
+//!   snippets can exercise path-scoped rules from `tests/fixtures/`.
+
+use crate::lexer::{self, TokKind, Token};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A fully analyzed source file, ready for lints.
+pub struct SourceFile {
+    /// Workspace-relative path used for rule scoping (may be overridden
+    /// by a fixture header).
+    pub rel_path: PathBuf,
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` is inside `#[cfg(test)]`/`#[test]` code.
+    pub in_test: Vec<bool>,
+    /// For each `Open` token index, the index of its matching `Close`.
+    pub match_close: BTreeMap<usize, usize>,
+    /// line → rules allowed on that line (lowercased; `all` wildcard).
+    pub allows: BTreeMap<u32, Vec<String>>,
+    /// Lexer errors, surfaced by the engine as `parse-error` findings.
+    pub errors: Vec<lexer::LexError>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes `src` under the given workspace-relative path.
+    pub fn parse(rel_path: &Path, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let mut allows: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        let mut fixture_path: Option<PathBuf> = None;
+        for c in &lexed.comments {
+            for rule in parse_allow_directive(&c.text) {
+                for line in c.first_line..=c.last_line {
+                    allows.entry(line).or_default().push(rule.clone());
+                }
+            }
+            if let Some(p) = parse_fixture_path(&c.text) {
+                fixture_path = Some(p);
+            }
+        }
+        let match_close = match_delims(&lexed.tokens);
+        let in_test = test_regions(&lexed.tokens, &match_close);
+        SourceFile {
+            rel_path: fixture_path.unwrap_or_else(|| rel_path.to_path_buf()),
+            tokens: lexed.tokens,
+            in_test,
+            match_close,
+            allows,
+            errors: lexed.errors,
+        }
+    }
+
+    /// True when `rule` is allowed at `line` (same line or the line
+    /// directly above carries the directive).
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        let hit = |l: u32| {
+            self.allows
+                .get(&l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "all"))
+        };
+        hit(line) || (line > 1 && hit(line - 1))
+    }
+
+    /// True when the file path puts the whole file on the panic-path
+    /// allowlist: test targets, benches, examples, binary entry points,
+    /// and build scripts are setup/reporting code, not the hot loop.
+    pub fn is_harness_file(&self) -> bool {
+        let p = &self.rel_path;
+        let comps: Vec<&str> = p
+            .components()
+            .filter_map(|c| c.as_os_str().to_str())
+            .collect();
+        comps.contains(&"tests")
+            || comps.contains(&"benches")
+            || comps.contains(&"examples")
+            || comps.contains(&"bin")
+            || p.file_name()
+                .is_some_and(|f| f == "main.rs" || f == "build.rs")
+    }
+}
+
+/// Extracts rules from a `gd-lint: allow(a, b)` directive, if present.
+fn parse_allow_directive(comment: &str) -> Vec<String> {
+    let Some(pos) = comment.find("gd-lint:") else {
+        return Vec::new();
+    };
+    let rest = comment[pos + "gd-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Vec::new();
+    };
+    let Some(args) = rest.trim_start().strip_prefix('(') else {
+        return Vec::new();
+    };
+    let Some(list) = args.split(')').next() else {
+        return Vec::new();
+    };
+    list.split(',')
+        .map(|r| r.trim().to_ascii_lowercase())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Extracts the path override from a `gd-lint-fixture: path=<rel>` header.
+fn parse_fixture_path(comment: &str) -> Option<PathBuf> {
+    let pos = comment.find("gd-lint-fixture:")?;
+    let rest = comment[pos + "gd-lint-fixture:".len()..].trim_start();
+    let rest = rest.strip_prefix("path=")?;
+    let path = rest.split_whitespace().next()?;
+    Some(PathBuf::from(path))
+}
+
+/// Matches `(`/`[`/`{` to their closing tokens. Unbalanced files map the
+/// stray delimiters to nothing; lints degrade gracefully.
+fn match_delims(tokens: &[Token]) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    let mut stack: Vec<(usize, char)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Open(d) => stack.push((i, d)),
+            TokKind::Close(d) => {
+                let want = match d {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                if let Some(&(j, open)) = stack.last() {
+                    if open == want {
+                        stack.pop();
+                        map.insert(j, i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Computes, per token, whether it sits inside test-only code.
+///
+/// An attribute `#[cfg(test)]`, `#[test]`, or `#[bench]` (including
+/// `cfg(any(test, …))`) marks the item it decorates; the item's body is
+/// the next `{…}` group at the same nesting depth (or nothing, if the
+/// item ends at a `;` first, as with `use` declarations). Test regions
+/// nest: everything inside a test `mod` body is test code.
+fn test_regions(tokens: &[Token], match_close: &BTreeMap<usize, usize>) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    // Depth-indexed pending flag: a test attribute at depth d arms the
+    // next `{` opened at depth d.
+    let mut pending: Vec<bool> = vec![false];
+    // Stack of "this brace group is test code" per open brace.
+    let mut test_stack: Vec<bool> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let inherited = test_stack.last().copied().unwrap_or(false);
+        match &tokens[i].kind {
+            TokKind::Punct('#') => {
+                // `#[…]` or `#![…]` attribute.
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.kind == TokKind::Open('[')) {
+                    if let Some(&end) = match_close.get(&j) {
+                        if attr_is_test(&tokens[j + 1..end]) {
+                            if let Some(p) = pending.last_mut() {
+                                *p = true;
+                            }
+                            // The attribute tokens themselves belong to
+                            // the test item.
+                            for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                                *flag = true;
+                            }
+                        }
+                        if inherited {
+                            for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                                *flag = true;
+                            }
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                in_test[i] = inherited;
+                i += 1;
+            }
+            TokKind::Open(d) => {
+                let pend = pending.last().copied().unwrap_or(false);
+                let armed = *d == '{' && pend;
+                if armed {
+                    if let Some(p) = pending.last_mut() {
+                        *p = false;
+                    }
+                }
+                // A paren/bracket group between a test attribute and the
+                // body (fn params, generics) rides the pending flag.
+                let group_test = inherited || armed || (*d != '{' && pend);
+                in_test[i] = group_test;
+                test_stack.push(group_test);
+                pending.push(false);
+                i += 1;
+            }
+            TokKind::Close(_) => {
+                in_test[i] = inherited;
+                test_stack.pop();
+                pending.pop();
+                i += 1;
+            }
+            TokKind::Punct(';') => {
+                // An item ended without a body; disarm any pending
+                // attribute at this depth.
+                if let Some(p) = pending.last_mut() {
+                    *p = false;
+                }
+                in_test[i] = inherited || pending.last().copied().unwrap_or(false);
+                i += 1;
+            }
+            _ => {
+                // Tokens between a test attribute and the body (e.g. the
+                // `fn name(…)` header) count as test code too.
+                in_test[i] = inherited || pending.last().copied().unwrap_or(false);
+                i += 1;
+            }
+        }
+    }
+    in_test
+}
+
+/// True when the attribute tokens mark test-only code: the path is
+/// `test`/`bench`, or a `cfg(...)` whose arguments mention `test`.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let Some(first) = attr.first() else {
+        return false;
+    };
+    match first.ident() {
+        Some("test") | Some("bench") => true,
+        Some("cfg") => attr.iter().skip(1).any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse(Path::new("crates/x/src/lib.rs"), src)
+    }
+
+    fn ident_in_test(f: &SourceFile, name: &str) -> bool {
+        let idx = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident(name))
+            .unwrap_or_else(|| panic!("no token `{name}`"));
+        f.in_test[idx]
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_contents() {
+        let f = sf("fn hot() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\n");
+        assert!(!ident_in_test(&f, "hot"));
+        assert!(ident_in_test(&f, "helper"));
+    }
+
+    #[test]
+    fn test_fn_attribute_covers_header_and_body() {
+        let f = sf("#[test]\nfn check_it(a: u32) { body(); }\nfn hot() { core(); }\n");
+        assert!(ident_in_test(&f, "check_it"));
+        assert!(ident_in_test(&f, "body"));
+        assert!(!ident_in_test(&f, "core"));
+    }
+
+    #[test]
+    fn cfg_any_test_counts() {
+        let f = sf("#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn h() {} }\n");
+        assert!(ident_in_test(&f, "h"));
+    }
+
+    #[test]
+    fn derive_attribute_is_not_test() {
+        let f = sf("#[derive(Debug, Clone)]\nstruct S { field: u32 }\n");
+        assert!(!ident_in_test(&f, "field"));
+    }
+
+    #[test]
+    fn attribute_consumed_by_semicolon_does_not_leak() {
+        let f = sf("#[cfg(test)]\nuse std::fmt;\nfn hot() {}\n");
+        assert!(!ident_in_test(&f, "hot"));
+    }
+
+    #[test]
+    fn allow_directive_same_line_and_line_above() {
+        let f = sf("// gd-lint: allow(panic-path)\nlet a = 1;\nlet b = 2; // gd-lint: allow(unit-safety, float-order)\n");
+        assert!(f.allowed(2, "panic-path"));
+        assert!(f.allowed(3, "unit-safety"));
+        assert!(f.allowed(3, "float-order"));
+        assert!(!f.allowed(3, "panic-path"));
+        assert!(!f.allowed(1, "unit-safety"));
+    }
+
+    #[test]
+    fn fixture_path_override() {
+        let f = SourceFile::parse(
+            Path::new("crates/lint/tests/fixtures/panic_path/bad.rs"),
+            "// gd-lint-fixture: path=crates/dram/src/hot.rs\nfn f() {}\n",
+        );
+        assert_eq!(f.rel_path, Path::new("crates/dram/src/hot.rs"));
+    }
+
+    #[test]
+    fn harness_files_by_path() {
+        let mk = |p: &str| SourceFile::parse(Path::new(p), "fn f() {}");
+        assert!(mk("crates/dram/tests/t.rs").is_harness_file());
+        assert!(mk("crates/bench/src/bin/fig03.rs").is_harness_file());
+        assert!(mk("examples/quickstart.rs").is_harness_file());
+        assert!(!mk("crates/dram/src/channel.rs").is_harness_file());
+    }
+}

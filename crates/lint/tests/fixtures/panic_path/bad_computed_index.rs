@@ -1,0 +1,10 @@
+// gd-lint-fixture: path=crates/dram/src/fixture.rs
+// Arithmetic inside an index expression is the off-by-one classic.
+
+pub fn fourth_from_end(acts: &[u64]) -> u64 {
+    acts[acts.len() - 4] //~ panic-path
+}
+
+pub fn flat_bank(banks: &[u64], rank: usize, per_rank: usize, bank: usize) -> u64 {
+    banks[rank * per_rank + bank] //~ panic-path
+}

@@ -1,0 +1,12 @@
+// gd-lint-fixture: path=crates/mmsim/src/fixture.rs
+// Anonymous panics in a hot simulation crate.
+
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u32, u64>, k: u32) -> u64 {
+    *map.get(&k).unwrap() //~ panic-path
+}
+
+pub fn lookup_unnamed(map: &BTreeMap<u32, u64>, k: u32) -> u64 {
+    *map.get(&k).expect("") //~ panic-path
+}

@@ -1,0 +1,23 @@
+// gd-lint-fixture: path=crates/dram/src/fixture.rs
+// Plain identifier/deref indexing and checked access stay legal; so do
+// computed indices behind `.get()`.
+
+pub fn plain(v: &[u64], i: usize) -> u64 {
+    v[i]
+}
+
+pub fn deref_index(v: &[u64], idx: &[usize]) -> u64 {
+    let mut acc = 0;
+    for i in idx {
+        acc += v[*i];
+    }
+    acc
+}
+
+pub fn checked(v: &[u64], i: usize) -> Option<u64> {
+    v.get(i + 1).copied()
+}
+
+pub fn modulo(v: &[u64], h: usize) -> u64 {
+    v[h % v.len()]
+}

@@ -1,0 +1,12 @@
+// gd-lint-fixture: path=crates/workloads/src/fixture.rs
+// Entropy-seeded RNGs make runs unrepeatable.
+
+pub fn shuffle_seed() -> u64 {
+    let mut rng = rand::thread_rng(); //~ sim-purity
+    rand::random() //~ sim-purity
+}
+
+pub fn from_os_entropy() -> u64 {
+    let rng = SmallRng::from_entropy(); //~ sim-purity
+    rng.next_u64()
+}

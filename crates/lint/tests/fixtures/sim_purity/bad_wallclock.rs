@@ -1,0 +1,17 @@
+// gd-lint-fixture: path=crates/baselines/src/fixture.rs
+// Wall-clock reads break replayability everywhere, even behind cfg.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now(); //~ sim-purity
+    t0.elapsed().as_nanos()
+}
+
+#[cfg(feature = "wallclock")]
+pub fn epoch_ms() -> u128 {
+    SystemTime::now() //~ sim-purity
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

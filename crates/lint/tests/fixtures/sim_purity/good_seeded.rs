@@ -1,0 +1,15 @@
+// gd-lint-fixture: path=crates/workloads/src/fixture.rs
+// Config-seeded deterministic RNG is the sanctioned source of
+// randomness; naming a banned function is not calling it.
+
+use gd_types::rng::SplitMix64;
+
+pub fn shuffle(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+pub fn from_entropy_docs() -> &'static str {
+    // A function *named* like the hazard is only flagged when called.
+    "from_entropy is banned; SplitMix64::new(seed) replaces it"
+}

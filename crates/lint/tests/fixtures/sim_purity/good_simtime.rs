@@ -1,0 +1,14 @@
+// gd-lint-fixture: path=crates/baselines/src/fixture.rs
+// Simulated time and prose mentions of the hazards are fine: the lexer
+// never shows comments or string contents to the lints.
+
+use gd_types::SimTime;
+
+pub fn stamp(now: SimTime) -> u64 {
+    // Instant::now() would be a hazard here, but this comment is prose.
+    now.0
+}
+
+pub fn describe() -> &'static str {
+    "uses SimTime, never Instant::now() or SystemTime::now()"
+}

@@ -1,0 +1,11 @@
+// gd-lint-fixture: path=crates/core/src/fixture.rs
+// A bare magnitude constant next to a unit-carrying name is almost
+// always an inline unit-conversion factor.
+
+pub fn to_window_end(start_ps: u64) -> u64 {
+    start_ps + 1_000_000 //~ unit-safety
+}
+
+pub fn scaled(total_energy_pj: u64) -> u64 {
+    total_energy_pj * 1000 //~ unit-safety
+}

@@ -1,0 +1,16 @@
+// gd-lint-fixture: path=crates/dram/src/fixture.rs
+// Raw casts of unit-carrying values must go through gd-types newtypes.
+// Tilde markers name the rule the harness expects on each flagged line.
+
+pub struct Stats {
+    pub cycles: u64,
+    pub total_energy_pj: u64,
+}
+
+pub fn throughput(s: &Stats, requests: u64) -> f64 {
+    requests as f64 / s.cycles as f64 //~ unit-safety
+}
+
+pub fn energy_j(s: &Stats) -> f64 {
+    s.total_energy_pj as f64 * 1e-12 //~ unit-safety
+}

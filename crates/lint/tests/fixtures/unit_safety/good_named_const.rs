@@ -1,0 +1,17 @@
+// gd-lint-fixture: path=crates/core/src/fixture.rs
+// Named constants and small stepping literals stay legal.
+
+const PS_PER_US: u64 = 1_000_000;
+
+pub fn to_window_end(start_ps: u64) -> u64 {
+    start_ps + PS_PER_US
+}
+
+pub fn next_cycle(cycles: u64) -> u64 {
+    cycles + 1
+}
+
+pub fn page_count(bytes: u64) -> u64 {
+    // No unit-carrying name involved: plain size arithmetic.
+    bytes / 4096 + 1000
+}

@@ -1,0 +1,20 @@
+// gd-lint-fixture: path=crates/dram/src/fixture.rs
+// Conversions through the gd-types newtype methods are the sanctioned
+// path; casts of unit-less counts are fine too.
+
+use gd_types::Cycles;
+
+pub struct Stats {
+    pub cycles: Cycles,
+    pub reads: u64,
+    pub writes: u64,
+}
+
+pub fn throughput(s: &Stats) -> f64 {
+    (s.reads + s.writes) as f64 / s.cycles.as_f64()
+}
+
+pub fn mean_per_group(samples: &[u64], group_cycles: &[u64]) -> f64 {
+    // `.len()` neutralizes the unit: this is a count cast, not a unit cast.
+    samples.iter().sum::<u64>() as f64 / group_cycles.len() as f64
+}

@@ -1,0 +1,68 @@
+//! Gate tests: the workspace itself must be gd-lint-clean at HEAD, and
+//! the sim-purity catalog must stay in lockstep with clippy.toml's
+//! `disallowed-methods` so the two gates cannot drift apart silently.
+
+use gd_lint::{lint_workspace, lints::sim_purity, workspace_root};
+use std::fs;
+
+#[test]
+fn workspace_is_gd_lint_clean_at_head() {
+    let report = lint_workspace(&workspace_root());
+    assert!(
+        report.files_scanned > 50,
+        "workspace walk looks broken: only {} files scanned",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "gd-lint findings at HEAD (fix or `// gd-lint: allow(...)` with a reason):\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Every method clippy is told to reject must be covered by gd-lint's
+/// sim-purity rule (gd-lint also runs on cfg'd-out code clippy never
+/// sees), and every std-path sim-purity rule must be in clippy.toml
+/// (clippy enforces it on type-resolved paths, immune to renames).
+#[test]
+fn sim_purity_and_clippy_toml_cover_each_other() {
+    let toml = fs::read_to_string(workspace_root().join("clippy.toml"))
+        .expect("clippy.toml at the workspace root");
+    let clippy_paths: Vec<String> = toml
+        .lines()
+        .filter_map(|l| {
+            let (_, rest) = l.split_once("path = \"")?;
+            let (path, _) = rest.split_once('"')?;
+            Some(path.to_string())
+        })
+        .collect();
+    assert!(
+        !clippy_paths.is_empty(),
+        "clippy.toml lost its disallowed-methods list"
+    );
+    for path in &clippy_paths {
+        assert!(
+            sim_purity::covers_path(path),
+            "clippy.toml disallows `{path}` but gd-lint sim-purity does not cover it"
+        );
+    }
+    // Reverse direction: every typed std path gd-lint bans must appear
+    // in clippy.toml. Entries whose first segment is lowercase name
+    // crates the workspace does not depend on (e.g. `rand`), which
+    // clippy could never resolve — those are gd-lint-only.
+    for (seg0, seg1, _) in sim_purity::BANNED_PATHS {
+        if seg0.chars().next().is_some_and(char::is_uppercase) {
+            assert!(
+                clippy_paths
+                    .iter()
+                    .any(|p| p.ends_with(&format!("{seg0}::{seg1}"))),
+                "gd-lint bans `{seg0}::{seg1}` but clippy.toml does not list it"
+            );
+        }
+    }
+}

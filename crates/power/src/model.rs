@@ -13,6 +13,7 @@ use crate::device::IddParams;
 use crate::gating::PowerGating;
 use gd_dram::{RankPowerState, RunStats};
 use gd_types::config::DramConfig;
+use gd_types::Cycles;
 
 /// Energy breakdown of one run, in joules.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -195,20 +196,20 @@ impl DramPowerModel {
     /// Core energy of one read burst across a rank, J.
     pub fn read_energy_j(&self) -> f64 {
         let i = &self.idd;
-        let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
+        let burst_s = self.cfg.timing.burst().as_f64() * self.t_ck_s();
         i.vdd * (i.idd4r - i.idd3n).max(0.0) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// Core energy of one write burst across a rank, J.
     pub fn write_energy_j(&self) -> f64 {
         let i = &self.idd;
-        let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
+        let burst_s = self.cfg.timing.burst().as_f64() * self.t_ck_s();
         i.vdd * (i.idd4w - i.idd3n).max(0.0) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// I/O + termination energy of one 64-byte transfer, J.
     pub fn io_energy_j(&self) -> f64 {
-        let burst_s = self.cfg.timing.burst_cycles() as f64 * self.t_ck_s();
+        let burst_s = self.cfg.timing.burst().as_f64() * self.t_ck_s();
         // 64 data pins per rank regardless of device width.
         self.idd.io_mw_per_dq * 1e-3 * 64.0 * burst_s
     }
@@ -251,7 +252,7 @@ impl DramPowerModel {
                 (RankPowerState::SelfRefresh, res.self_refresh),
             ];
             for (state, cycles) in pairs {
-                let secs = cycles as f64 * t_ck;
+                let secs = Cycles::new(cycles).as_f64() * t_ck;
                 background_j += dev_per_rank
                     * (self.device_core_background_w(state) * bg_mult + self.device_static_w())
                     * secs;
@@ -277,7 +278,7 @@ impl DramPowerModel {
     /// Peak data-bus throughput of the system in 64-byte transfers per
     /// second (all channels combined).
     pub fn peak_transfers_per_s(&self) -> f64 {
-        let per_channel = 1.0 / (self.cfg.timing.burst_cycles() as f64 * self.t_ck_s());
+        let per_channel = 1.0 / (self.cfg.timing.burst().as_f64() * self.t_ck_s());
         per_channel * self.cfg.org.channels as f64
     }
 

@@ -249,6 +249,12 @@ impl DramTiming {
         self.burst_length / 2
     }
 
+    /// [`burst_cycles`](Self::burst_cycles) as a typed count, for
+    /// unit-safe conversion to seconds or energy.
+    pub fn burst(&self) -> crate::time::Cycles {
+        crate::time::Cycles::new(self.burst_cycles())
+    }
+
     /// Validates ordering constraints between parameters.
     ///
     /// # Errors

@@ -27,6 +27,13 @@ impl Cycles {
         self.0
     }
 
+    /// The cycle count as a float, for rate and energy arithmetic. This
+    /// is the audited widening point gd-lint's `unit-safety` rule routes
+    /// raw `as f64` casts through.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
         Cycles(self.0.saturating_sub(rhs.0))

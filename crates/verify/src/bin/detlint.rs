@@ -1,4 +1,4 @@
-//! detlint: the source-level determinism gate.
+//! detlint: the fast pre-gate of the source-level determinism checks.
 //!
 //! Every simulation result in this workspace must be a pure function of
 //! its configuration and seed. This scanner walks the workspace's Rust
@@ -7,10 +7,18 @@
 //! configuration in `clippy.toml`, but runs without clippy (and also
 //! catches hazards in code paths clippy cannot see, e.g. behind cfgs).
 //!
-//! A line may opt out with a trailing `detlint: allow(<tag>)` annotation;
+//! detlint is deliberately a line-substring scanner: it finishes in
+//! milliseconds and needs no build. The AST-level analysis — expression
+//! context, per-crate scoping, unit/panic/float-order rules — lives in
+//! `gd-lint` (`crates/lint`), which runs right after it in CI. Overlap
+//! between the two is intentional: detlint's `sim-purity` needles catch
+//! regressions even when `gd-lint` itself fails to build.
+//!
+//! Comments (line and block) and string literals are stripped before
+//! matching, so prose and diagnostic messages may name the hazards. A
+//! line may opt out with a trailing `detlint: allow(<tag>)` annotation;
 //! the only intended use is the micro-benchmark harness, which measures
-//! real elapsed time on purpose. Comment lines are ignored (prose may
-//! discuss the hazards).
+//! real elapsed time on purpose.
 //!
 //! Run with `cargo run -p gd-verify --bin detlint`; exits non-zero when
 //! any hazard is found.
@@ -20,8 +28,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Hazard {
-    /// The source pattern that trips the gate. Spliced with `concat!` so
-    /// this scanner does not flag its own source.
+    /// The source pattern that trips the gate. Needles live in string
+    /// literals, which the stripper blanks, so this scanner never flags
+    /// its own source.
     needle: &'static str,
     /// Why the pattern is banned.
     why: &'static str,
@@ -34,25 +43,25 @@ struct Hazard {
 
 const HAZARDS: &[Hazard] = &[
     Hazard {
-        needle: concat!("from_", "entropy"),
+        needle: "from_entropy",
         why: "entropy-seeded RNG; seed from the configuration instead",
         tag: "entropy",
         scope: &[],
     },
     Hazard {
-        needle: concat!("thread_", "rng"),
+        needle: "thread_rng",
         why: "thread-local entropy RNG; use gd_types::rng with a fixed seed",
         tag: "entropy",
         scope: &[],
     },
     Hazard {
-        needle: concat!("SystemTime::", "now"),
+        needle: "SystemTime::now",
         why: "wall-clock read; simulated time comes from SimTime",
         tag: "wallclock",
         scope: &[],
     },
     Hazard {
-        needle: concat!("Instant::", "now"),
+        needle: "Instant::now",
         why: "wall-clock read; use SimTime or cycle counters",
         tag: "instant",
         scope: &[],
@@ -63,7 +72,7 @@ const HAZARDS: &[Hazard] = &[
     // additionally promises byte-identical rendering, so hash order is
     // banned there outright. Lookup-only maps may opt out line-by-line.
     Hazard {
-        needle: concat!("Hash", "Map"),
+        needle: "HashMap",
         why: "nondeterministic iteration order in the sweep/figure/telemetry \
               path; collect into a Vec ordered by point index (or BTreeMap), \
               or annotate a lookup-only map",
@@ -133,6 +142,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
             if path.file_name().is_some_and(|n| n == "target") {
                 continue;
             }
+            // Lint fixture corpora contain hazards on purpose; gd-lint's
+            // own harness asserts over them.
+            if path.file_name().is_some_and(|n| n == "fixtures")
+                && path
+                    .parent()
+                    .and_then(Path::file_name)
+                    .is_some_and(|n| n == "tests")
+            {
+                continue;
+            }
             collect_rs_files(&path, out);
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -141,17 +160,18 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Scans one file; `file` is workspace-relative so hazard scopes match.
+///
+/// Needles are matched against the *stripped* line (comments and string
+/// contents blanked), while `detlint: allow(...)` annotations are read
+/// from the original line, where they live inside a trailing comment.
 fn scan(file: &Path, text: &str, out: &mut Vec<Finding>) {
-    for (idx, line) in text.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("//") {
-            continue; // prose may name the hazards
-        }
+    let stripped = strip_comments_and_strings(text);
+    for (idx, (line, code)) in text.lines().zip(stripped.lines()).enumerate() {
         for hazard in HAZARDS {
             if !hazard.scope.is_empty() && !hazard.scope.iter().any(|s| file.starts_with(s)) {
                 continue;
             }
-            if !line.contains(hazard.needle) {
+            if !code.contains(hazard.needle) {
                 continue;
             }
             if is_allowed(line, hazard.tag) {
@@ -167,8 +187,140 @@ fn scan(file: &Path, text: &str, out: &mut Vec<Finding>) {
     }
 }
 
+/// Returns `text` with comments and string/char literal contents replaced
+/// by spaces. Newlines are preserved so line numbers stay aligned.
+/// Handles nested block comments, escapes, and raw strings (`r#"…"#`).
+fn strip_comments_and_strings(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if !prev_is_ident(&out) && raw_string_hashes(&b[i..]).is_some() => {
+                let hashes = raw_string_hashes(&b[i..]).unwrap_or(0);
+                // Skip the prefix (`r`/`br` + hashes + opening quote).
+                let prefix = if b[i] == b'b' { 2 } else { 1 } + hashes + 1;
+                out.extend(std::iter::repeat_n(b' ', prefix));
+                i += prefix;
+                let terminator: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < b.len() && !b[i..].starts_with(&terminator) {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                let consumed = terminator.len().min(b.len() - i);
+                out.extend(std::iter::repeat_n(b' ', consumed));
+                i += consumed;
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal (`'x'`, `'\n'`) vs lifetime (`'a`): a
+                // lifetime is never closed by a quote within two chars.
+                let is_char = match b.get(i + 1) {
+                    Some(b'\\') => true,
+                    Some(_) => b.get(i + 2) == Some(&b'\''),
+                    None => false,
+                };
+                if is_char {
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        } else {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                    if i < b.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// When `rest` starts a raw (byte) string — `r"`, `r#"`, `br##"`, … —
+/// returns the number of `#`s; otherwise `None`.
+fn raw_string_hashes(rest: &[u8]) -> Option<usize> {
+    let mut j = 1;
+    if rest[0] == b'b' {
+        if rest.get(1) != Some(&b'r') {
+            return None;
+        }
+        j = 2;
+    }
+    let mut hashes = 0;
+    while rest.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (rest.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// True when the stripped output so far ends in an identifier character —
+/// then a following `r`/`b` is part of an identifier, not a raw-string
+/// prefix (e.g. `hdr"x"` cannot occur, but `for r in ..` can).
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
 fn is_allowed(line: &str, tag: &str) -> bool {
-    let marker = concat!("detlint: ", "allow");
+    let marker = "detlint: allow";
     let Some(pos) = line.find(marker) else {
         return false;
     };
@@ -214,7 +366,7 @@ mod tests {
 
     #[test]
     fn scoped_hazards_ignore_other_paths() {
-        let needle = concat!("Hash", "Map");
+        let needle = "HashMap";
         let src = format!("use std::collections::{needle};");
         let mut findings = Vec::new();
         scan(Path::new("crates/dram/src/x.rs"), &src, &mut findings);
@@ -227,7 +379,7 @@ mod tests {
 
     #[test]
     fn comments_and_annotations_are_exempt() {
-        let hazard = concat!("thread_", "rng");
+        let hazard = "thread_rng";
         let src =
             format!("// {hazard} is banned\nlet a = {hazard}(); // detlint: allow(entropy)\n");
         let mut findings = Vec::new();
@@ -236,8 +388,48 @@ mod tests {
     }
 
     #[test]
+    fn block_comments_are_exempt() {
+        let hazard = "Instant::now";
+        let src = format!("/* {hazard} is discussed\nacross lines: {hazard} */\nlet t = 0;\n");
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert!(findings.is_empty(), "block comment was scanned");
+        // Nested block comments terminate where they should: the hazard
+        // after the true end of the comment is live code again.
+        let src = format!("/* outer /* inner */ still comment */ let t = {hazard}();");
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert_eq!(
+            findings.len(),
+            1,
+            "code after nested comment must be scanned"
+        );
+    }
+
+    #[test]
+    fn string_literals_are_exempt() {
+        let hazard = "SystemTime::now";
+        let src = format!(
+            "let msg = \"{hazard} is banned\";\nlet raw = r#\"{hazard} too\"#;\nlet c = 'x';\n"
+        );
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert!(findings.is_empty(), "string contents were scanned");
+    }
+
+    #[test]
+    fn line_numbers_survive_stripping() {
+        let hazard = "from_entropy";
+        let src = format!("/* a\nmulti\nline comment */\nlet x = {hazard}();\n");
+        let mut findings = Vec::new();
+        scan(Path::new("x.rs"), &src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4, "line numbers drifted after stripping");
+    }
+
+    #[test]
     fn wrong_tag_does_not_exempt() {
-        let hazard = concat!("thread_", "rng");
+        let hazard = "thread_rng";
         let src = format!("let a = {hazard}(); // detlint: allow(instant)\n");
         let mut findings = Vec::new();
         scan(Path::new("x.rs"), &src, &mut findings);

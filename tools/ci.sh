@@ -16,8 +16,24 @@ cargo build --release --quiet
 echo "==> cargo test --workspace"
 cargo test --quiet --workspace
 
-echo "==> detlint (determinism scan)"
+echo "==> detlint (determinism pre-gate, line scan)"
 cargo run --quiet -p gd-verify --bin detlint
+
+echo "==> gd-lint (AST-level workspace analysis: unit-safety, panic-path, float-order, sim-purity)"
+cargo run --quiet -p gd-lint
+
+echo "==> gd-lint JSON smoke (bad fixture must fail with the expected rule id)"
+if cargo run --quiet -p gd-lint -- --json \
+    crates/lint/tests/fixtures/sim_purity/bad_wallclock.rs > /tmp/gd_lint.ci.json 2>&1; then
+  echo "ERROR: gd-lint exited 0 on a known-bad fixture" >&2
+  exit 1
+fi
+grep -q '"rule":"sim-purity"' /tmp/gd_lint.ci.json || {
+  echo "ERROR: gd-lint --json did not report the expected sim-purity finding" >&2
+  cat /tmp/gd_lint.ci.json >&2
+  exit 1
+}
+rm -f /tmp/gd_lint.ci.json
 
 echo "==> engine equivalence (stepped vs event-driven, serial vs parallel sweep)"
 cargo test --quiet --release --test engine_equivalence
