@@ -14,6 +14,34 @@ pub mod sanity;
 
 pub use sanity::{checked_evaluate, sanity_checker, GovernorSanity};
 
+/// Off-lining failures the co-simulation observed, split by cause (the
+/// structured [`gd_mmsim::OfflineError`] counts). Governors that actively
+/// off-line memory charge the retry time these imply; the default (all
+/// zeros) charges nothing, so fault-free figures are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OfflineFailureBreakdown {
+    /// EBUSY rejections from pinned user pages.
+    pub pinned: u64,
+    /// EBUSY rejections from unmovable kernel allocations.
+    pub kernel_block: u64,
+    /// EAGAIN failures from aborted (rolled-back) migrations.
+    pub migration_aborted: u64,
+}
+
+impl OfflineFailureBreakdown {
+    /// Total failed offline attempts.
+    pub fn total(&self) -> u64 {
+        self.pinned + self.kernel_block + self.migration_aborted
+    }
+
+    /// Lower bound on the wall-clock time the failures cost, using the
+    /// paper's Table 3 latencies: an EBUSY rejection is detected in ~6 µs,
+    /// while an aborted migration burns the full ~4.37 ms EAGAIN path.
+    pub fn time_lower_bound_s(&self) -> f64 {
+        (self.pinned + self.kernel_block) as f64 * 6e-6 + self.migration_aborted as f64 * 4.37e-3
+    }
+}
+
 /// Inputs a governor evaluates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GovernorContext {
@@ -34,6 +62,9 @@ pub struct GovernorContext {
     pub runtime_s: f64,
     /// Fraction of capacity GreenDIMM off-lined (0 for other governors).
     pub offline_fraction: f64,
+    /// Off-lining failures observed during the run (zero for governors
+    /// that never off-line memory, and for fault-free runs).
+    pub offline_failures: OfflineFailureBreakdown,
 }
 
 impl GovernorContext {
@@ -193,7 +224,10 @@ impl PowerGovernor for GreenDimmGovernor {
             gating: PowerGating::deep_pd(ctx.offline_fraction),
             sr_fraction: ctx.measured_sr_fraction,
             pd_fraction: 0.0,
-            overhead_s: ctx.runtime_s * self.overhead_fraction,
+            // Failed offline attempts (pinned pages, aborted migrations)
+            // cost daemon time on top of the steady-state overhead.
+            overhead_s: ctx.runtime_s * self.overhead_fraction
+                + ctx.offline_failures.time_lower_bound_s(),
         }
     }
 }
@@ -212,6 +246,7 @@ mod tests {
             measured_sr_fraction: if interleaved { 0.0 } else { 0.54 },
             runtime_s: 100.0,
             offline_fraction: 0.8,
+            offline_failures: OfflineFailureBreakdown::default(),
         }
     }
 
@@ -260,6 +295,23 @@ mod tests {
         let c = ctx(false);
         // 1.2 GB in 4 GB ranks: 1 rank touched.
         assert!((c.ranks_touched_fraction() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_failures_charge_extra_overhead() {
+        let g = GreenDimmGovernor::default();
+        let clean = g.evaluate(&ctx(true));
+        let mut faulted = ctx(true);
+        faulted.offline_failures = OfflineFailureBreakdown {
+            pinned: 100,
+            kernel_block: 50,
+            migration_aborted: 10,
+        };
+        assert_eq!(faulted.offline_failures.total(), 160);
+        let out = g.evaluate(&faulted);
+        // 150 EBUSY × 6 µs + 10 EAGAIN × 4.37 ms on top of the clean run.
+        let expected = 150.0 * 6e-6 + 10.0 * 4.37e-3;
+        assert!((out.overhead_s - clean.overhead_s - expected).abs() < 1e-12);
     }
 
     #[test]

@@ -60,6 +60,24 @@ impl Invariant<Evaluation> for GovernorSanity {
                 o.overhead_s, ctx.runtime_s
             ));
         }
+        if !(0.0..=1.0).contains(&ctx.offline_fraction) {
+            bad(format!(
+                "offline_fraction = {} outside [0, 1]",
+                ctx.offline_fraction
+            ));
+        }
+        // An off-lining governor must charge at least the detection time
+        // the observed failures imply (Table 3 lower bound).
+        if ctx.offline_fraction > 0.0
+            && o.overhead_s + 1e-12 < ctx.offline_failures.time_lower_bound_s()
+        {
+            bad(format!(
+                "overhead_s = {} below failure time lower bound {} ({} failed offlines)",
+                o.overhead_s,
+                ctx.offline_failures.time_lower_bound_s(),
+                ctx.offline_failures.total()
+            ));
+        }
     }
 }
 
@@ -87,7 +105,7 @@ pub fn checked_evaluate<G: PowerGovernor + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GreenDimmGovernor, Pasr, RamZzz, SrfOnly};
+    use crate::{GreenDimmGovernor, OfflineFailureBreakdown, Pasr, RamZzz, SrfOnly};
     use gd_power::PowerGating;
 
     fn ctx(interleaved: bool) -> GovernorContext {
@@ -100,6 +118,7 @@ mod tests {
             measured_sr_fraction: if interleaved { 0.0 } else { 0.54 },
             runtime_s: 100.0,
             offline_fraction: 0.8,
+            offline_failures: OfflineFailureBreakdown::default(),
         }
     }
 
@@ -143,5 +162,37 @@ mod tests {
         assert!(record.stats.violations >= 2, "{:?}", record.stats.recorded);
         let mut strict = sanity_checker(Mode::Strict);
         assert!(checked_evaluate(&Broken, &ctx(true), &mut strict).is_err());
+    }
+
+    /// An off-lining governor that ignores the failure time it observed is
+    /// flagged: the charged overhead must cover the Table 3 lower bound.
+    #[test]
+    fn undercharged_failure_time_is_caught() {
+        struct FreeLunch;
+        impl PowerGovernor for FreeLunch {
+            fn name(&self) -> &'static str {
+                "free-lunch"
+            }
+            fn evaluate(&self, ctx: &GovernorContext) -> GovernorOutcome {
+                GovernorOutcome {
+                    gating: PowerGating::deep_pd(ctx.offline_fraction),
+                    sr_fraction: 0.0,
+                    pd_fraction: 0.0,
+                    overhead_s: 0.0, // ignores ctx.offline_failures
+                }
+            }
+        }
+        let mut c = ctx(true);
+        c.offline_failures = OfflineFailureBreakdown {
+            pinned: 0,
+            kernel_block: 0,
+            migration_aborted: 100,
+        };
+        let mut strict = sanity_checker(Mode::Strict);
+        let err = checked_evaluate(&FreeLunch, &c, &mut strict).unwrap_err();
+        assert!(err.to_string().contains("lower bound"), "{err}");
+        // With no observed failures the same governor is fine.
+        let mut clean = sanity_checker(Mode::Strict);
+        checked_evaluate(&FreeLunch, &ctx(true), &mut clean).unwrap();
     }
 }

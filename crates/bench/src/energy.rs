@@ -301,6 +301,7 @@ pub fn evaluate_app_tele(
         measured_sr_fraction: meas.sr_fraction,
         runtime_s: meas.runtime_s,
         offline_fraction,
+        offline_failures: gd_baselines::OfflineFailureBreakdown::default(),
     };
 
     let governors: Vec<Box<dyn PowerGovernor>> = vec![

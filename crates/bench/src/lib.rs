@@ -14,6 +14,7 @@ pub mod blocks;
 pub mod energy;
 pub mod provenance;
 pub mod report;
+pub mod robustness;
 pub mod sweep;
 pub mod telemetry;
 pub mod vmtrace;
@@ -23,7 +24,8 @@ pub use energy::{
     evaluate_app, evaluate_app_tele, find_row, measure_app, measure_app_tele, AppMeasurement,
     EnergyRow,
 };
-pub use provenance::{fnv1a, print_provenance, provenance_line};
+pub use provenance::{fnv1a, print_provenance, provenance_line, provenance_line_with_engine};
+pub use robustness::{robustness_experiment, RobustnessRow, FAULT_RATES};
 pub use sweep::{default_jobs, sweep, timed_sweep, PointCtx, SweepOpts, SweepTiming};
 pub use telemetry::{render_shards, TelemetryOpts};
 pub use vmtrace::{run_vm_trace, run_vm_trace_tele, VmTraceConfig, VmTraceOutcome, VmTraceSample};

@@ -252,8 +252,10 @@ impl EpochSim {
             }) => {
                 let now = self.now;
                 if let Some(t) = self.telemetry.as_mut() {
+                    // The stall count itself lives in DaemonStats (recorded
+                    // even when nothing can be woken) and is exported with
+                    // the other daemon counters.
                     t.trace.span_open(now, "daemon.allocation_stall");
-                    t.registry.counter_add("daemon.allocation_stalls", 1);
                 }
                 self.daemon
                     .handle_allocation_stall(now, &mut self.mm, requested_pages)?;
@@ -299,10 +301,40 @@ impl EpochSim {
             &format!("{scope}.daemon.failures_eagain"),
             s.failures_eagain,
         );
+        reg.counter_add(&format!("{scope}.daemon.failures"), s.failures());
+        reg.counter_add(
+            &format!("{scope}.daemon.hotplug_events"),
+            s.hotplug_events(),
+        );
+        reg.counter_add(
+            &format!("{scope}.daemon.allocation_stalls"),
+            s.allocation_stalls,
+        );
+        reg.counter_add(
+            &format!("{scope}.daemon.stalls_unserved"),
+            s.stalls_unserved,
+        );
+        reg.counter_add(&format!("{scope}.daemon.deep_pd_nacks"), s.deep_pd_nacks);
+        reg.counter_add(&format!("{scope}.daemon.retries"), s.retries);
+        reg.counter_add(&format!("{scope}.daemon.mrs_ack_delays"), s.mrs_ack_delays);
+        reg.counter_add(
+            &format!("{scope}.daemon.buddy_wake_failures"),
+            s.buddy_wake_failures,
+        );
         reg.counter_add(
             &format!("{scope}.daemon.hotplug_time_us"),
             s.hotplug_time.as_micros(),
         );
+        reg.gauge_set(
+            &format!("{scope}.daemon.degraded_groups"),
+            self.daemon.degraded_groups() as f64,
+        );
+        // Per-site fault counters from the daemon's injector (inactive
+        // injectors export nothing).
+        if let Some(f) = self.daemon.fault_injector() {
+            f.export_telemetry(&mut tele, scope);
+        }
+        let reg = &mut tele.registry;
         let regs = self.daemon.registers();
         for g in 0..regs.groups() {
             let dwell = regs.residency(SubArrayGroup::new(g), now);

@@ -4,6 +4,7 @@
 use crate::config::GreenDimmConfig;
 use crate::groupmap::GroupMap;
 use crate::registers::{GroupRegisterFile, DEEP_PD_EXIT};
+use gd_faults::{FaultInjector, FaultSite, RetryPolicy, MRS_ACK_DELAY};
 use gd_mmsim::{MemoryManager, OfflineErrno};
 use gd_types::ids::SubArrayGroup;
 use gd_types::rng::{component_rng, StdRng};
@@ -24,6 +25,21 @@ pub struct DaemonStats {
     pub failures_ebusy: u64,
     /// Off-lining failures with EAGAIN.
     pub failures_eagain: u64,
+    /// Demand-driven on-lining passes ([`Daemon::handle_allocation_stall`]),
+    /// counted even when no block could be woken.
+    pub allocation_stalls: u64,
+    /// Allocation stalls that on-lined nothing (every candidate already
+    /// on-line, quarantined, or failed).
+    pub stalls_unserved: u64,
+    /// Deep power-down entry NACKs (injected MRS rejections).
+    pub deep_pd_nacks: u64,
+    /// Re-attempts after a failure: deep-PD entries retried once a
+    /// group's quarantine expired, plus buddy-wake retries.
+    pub retries: u64,
+    /// Deep-PD entries whose MRS ack arrived late (latency charged).
+    pub mrs_ack_delays: u64,
+    /// Transient buddy-wake failures (each one forced a retry).
+    pub buddy_wake_failures: u64,
     /// Wall-clock time spent inside hotplug operations and deep power-down
     /// exits.
     pub hotplug_time: SimTime,
@@ -52,6 +68,19 @@ pub struct TickReport {
     pub failures: u32,
 }
 
+/// Per-group recovery state for deep power-down entry failures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GroupRecovery {
+    /// Consecutive deep-PD entry NACKs (reset on success).
+    pub consecutive_nacks: u32,
+    /// No deep-PD entry is attempted before this time (exponential
+    /// backoff from [`RetryPolicy`]).
+    pub quarantined_until: SimTime,
+    /// Permanently degraded: the group stays in shallow power-down for
+    /// the rest of the run instead of oscillating on a flaky MRS path.
+    pub degraded: bool,
+}
+
 /// The daemon.
 #[derive(Debug)]
 pub struct Daemon {
@@ -63,6 +92,12 @@ pub struct Daemon {
     current_off_thr: f64,
     /// Monitor ticks since the last failure or stall (for adaptive decay).
     quiet_ticks: u32,
+    /// Optional fault injector (see `gd-faults`).
+    faults: Option<FaultInjector>,
+    /// Backoff/quarantine policy for deep-PD entry failures.
+    retry: RetryPolicy,
+    /// Per-group recovery state, indexed by group.
+    recovery: Vec<GroupRecovery>,
     /// Run statistics.
     pub stats: DaemonStats,
 }
@@ -75,10 +110,44 @@ impl Daemon {
             rng: component_rng(cfg.seed, "greendimm-daemon"),
             current_off_thr: cfg.off_thr,
             quiet_ticks: 0,
+            faults: None,
+            retry: RetryPolicy::paper_default(),
+            recovery: vec![GroupRecovery::default(); map.groups() as usize],
             cfg,
             map,
             stats: DaemonStats::default(),
         }
+    }
+
+    /// Installs a fault injector. An inactive plan (or none at all)
+    /// leaves every decision byte-identical to a faultless build.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Overrides the retry/backoff policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry/backoff policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Recovery state of one group (`None` when out of range).
+    pub fn recovery(&self, g: SubArrayGroup) -> Option<&GroupRecovery> {
+        self.recovery.get(g.index())
+    }
+
+    /// Number of groups degraded to shallow power-down.
+    pub fn degraded_groups(&self) -> u64 {
+        self.recovery.iter().filter(|r| r.degraded).count() as u64
     }
 
     /// The effective off threshold (differs from the configured one only
@@ -146,6 +215,16 @@ impl Daemon {
             self.offline_pass(now, mm, off_floor, block_pages, &mut report)?;
         } else if info.free_pages < on_floor {
             self.online_pass(now, mm, off_floor, &mut report)?;
+        }
+        // Re-attempt deep-PD entry for groups whose quarantine may have
+        // expired. Without prior NACKs this pass does not run at all, so
+        // faultless ticks are byte-identical to pre-recovery behaviour.
+        if self
+            .recovery
+            .iter()
+            .any(|r| r.consecutive_nacks > 0 && !r.degraded)
+        {
+            self.update_registers_after_offline(now, mm)?;
         }
         self.adapt(report.failures > 0);
         Ok(report)
@@ -228,6 +307,10 @@ impl Daemon {
         needed_pages: u64,
     ) -> Result<u32> {
         let mut onlined = 0u32;
+        // Record the stall up front: a pass that wakes nothing (everything
+        // already on-line, quarantined, or failed) is still a stall the
+        // policy must answer for.
+        self.stats.allocation_stalls += 1;
         self.adapt(true); // an allocation stall is trouble for the policy
         let target = {
             let info = mm.meminfo();
@@ -243,6 +326,9 @@ impl Daemon {
             self.stats.online_events += 1;
             self.stats.hotplug_time += latency;
             onlined += 1;
+        }
+        if onlined == 0 {
+            self.stats.stalls_unserved += 1;
         }
         Ok(onlined)
     }
@@ -261,8 +347,27 @@ impl Daemon {
             }
             for g in wake {
                 if self.registers.is_down(g) {
+                    // An injected wake failure costs a full exit latency
+                    // and forces a retry, bounded by the retry budget: the
+                    // final attempt always succeeds, because a block about
+                    // to receive traffic MUST leave deep power-down (§6.1
+                    // safety is not negotiable under faults).
+                    let mut attempts = 0u32;
+                    loop {
+                        attempts += 1;
+                        let failed = attempts <= self.retry.max_retries
+                            && self
+                                .faults
+                                .as_mut()
+                                .is_some_and(|f| f.should_fire(FaultSite::BuddyWakeFail));
+                        self.stats.hotplug_time += DEEP_PD_EXIT;
+                        if !failed {
+                            break;
+                        }
+                        self.stats.buddy_wake_failures += 1;
+                        self.stats.retries += 1;
+                    }
                     self.registers.set(g, false, now)?;
-                    self.stats.hotplug_time += DEEP_PD_EXIT;
                 }
             }
         }
@@ -293,18 +398,73 @@ impl Daemon {
                 true
             };
             if ok {
-                self.registers.set(group, true, now)?;
+                let entered = self.try_enter_deep_pd(group, now)?;
                 // A fully-off-lined buddy that was previously blocked by this
                 // group can now power down too.
-                if self.cfg.neighbor_constraint {
+                if entered && self.cfg.neighbor_constraint {
                     let buddy = self.map.sense_amp_buddy(group);
                     if fully.get(buddy.index()).copied().unwrap_or(false) {
-                        self.registers.set(buddy, true, now)?;
+                        self.try_enter_deep_pd(buddy, now)?;
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Attempts to move one group into deep power-down, honouring the
+    /// group's quarantine and degraded state. Returns whether the group
+    /// is down afterwards.
+    ///
+    /// Failure handling: an injected MRS NACK quarantines the group with
+    /// exponential backoff; [`RetryPolicy::degrade_after`] consecutive
+    /// NACKs degrade it permanently to shallow power-down (it keeps its
+    /// clock-gated savings but stops oscillating on a flaky MRS path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates register-file errors (out-of-range groups are caller
+    /// bugs).
+    fn try_enter_deep_pd(&mut self, group: SubArrayGroup, now: SimTime) -> Result<bool> {
+        if self.registers.is_down(group) {
+            return Ok(true);
+        }
+        let Some(rec) = self.recovery.get(group.index()).copied() else {
+            return Ok(false);
+        };
+        if rec.degraded || now < rec.quarantined_until {
+            return Ok(false);
+        }
+        if rec.consecutive_nacks > 0 {
+            // Quarantine expired: this attempt is a retry.
+            self.stats.retries += 1;
+        }
+        let nack = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.should_fire(FaultSite::DeepPdEntryNack));
+        if nack {
+            self.stats.deep_pd_nacks += 1;
+            let rec = &mut self.recovery[group.index()];
+            rec.consecutive_nacks += 1;
+            if rec.consecutive_nacks >= self.retry.degrade_after {
+                rec.degraded = true;
+            } else {
+                rec.quarantined_until = now + self.retry.backoff_after(rec.consecutive_nacks);
+            }
+            return Ok(false);
+        }
+        self.recovery[group.index()].consecutive_nacks = 0;
+        self.registers.set(group, true, now)?;
+        if self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.should_fire(FaultSite::MrsAckDelay))
+        {
+            self.stats.hotplug_time += MRS_ACK_DELAY;
+            self.stats.mrs_ack_delays += 1;
+        }
+        Ok(true)
     }
 }
 
@@ -490,6 +650,150 @@ mod tests {
         d.handle_allocation_stall(SimTime::from_secs(1), &mut mm, 1_000)
             .unwrap();
         assert_eq!(d.effective_off_thr(), 0.10);
+    }
+
+    #[test]
+    fn stall_is_recorded_even_when_nothing_can_be_woken() {
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        // Everything is already on-line: the pass wakes nothing, but the
+        // stall must still be counted.
+        let onlined = d
+            .handle_allocation_stall(SimTime::from_secs(1), &mut mm, 1_000)
+            .unwrap();
+        assert_eq!(onlined, 0);
+        assert_eq!(d.stats.allocation_stalls, 1);
+        assert_eq!(d.stats.stalls_unserved, 1);
+        // A served stall counts only as a stall.
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        let onlined = d
+            .handle_allocation_stall(SimTime::from_secs(30), &mut mm, 30_000)
+            .unwrap();
+        assert!(onlined > 0);
+        assert_eq!(d.stats.allocation_stalls, 2);
+        assert_eq!(d.stats.stalls_unserved, 1);
+    }
+
+    #[test]
+    fn deep_pd_nack_quarantines_then_degrades() {
+        use gd_faults::{FaultPlan, FaultTrigger, RetryPolicy};
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        d.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::DeepPdEntryNack, FaultTrigger::Prob(1.0))
+                .build(1),
+        );
+        d.set_retry_policy(RetryPolicy {
+            degrade_after: 3,
+            ..RetryPolicy::paper_default()
+        });
+        for s in 0..40 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        // Every entry NACKs: blocks off-line but no group ever powers
+        // down, and persistent failures degrade groups permanently.
+        assert!(mm.offline_block_count() > 0);
+        assert_eq!(d.registers().down_count(), 0);
+        assert!(d.stats.deep_pd_nacks > 0);
+        assert!(d.degraded_groups() > 0);
+        // Degraded groups are never re-attempted.
+        let nacks_at_degrade = d.stats.deep_pd_nacks;
+        let before = d.degraded_groups();
+        for s in 40..80 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        if d.degraded_groups() == before && before as usize == d.group_map().groups() as usize {
+            assert_eq!(d.stats.deep_pd_nacks, nacks_at_degrade);
+        }
+    }
+
+    #[test]
+    fn quarantine_blocks_reentry_until_backoff_expires() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        // NACK exactly the first entry attempt, then behave.
+        d.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::DeepPdEntryNack, FaultTrigger::OneShot(1))
+                .build(1),
+        );
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert_eq!(d.stats.deep_pd_nacks, 1);
+        assert!(d.stats.retries > 0, "the NACKed group must be retried");
+        assert!(
+            d.registers().down_count() > 0,
+            "after backoff the group enters deep-PD"
+        );
+        // §6.1 invariant still holds for every down group.
+        let obs = crate::verify::group_observations(&d, &mm);
+        for o in obs {
+            if o.down {
+                assert!(o.fully_offline, "down group with on-line blocks");
+            }
+        }
+        // The quarantine window was respected: entry happened at or after
+        // quarantined_until.
+        for g in 0..d.group_map().groups() {
+            let group = SubArrayGroup::new(g);
+            if let (Some(since), Some(rec)) = (d.registers().down_since(group), d.recovery(group)) {
+                assert!(since >= rec.quarantined_until);
+            }
+        }
+    }
+
+    #[test]
+    fn buddy_wake_failures_retry_but_always_wake() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+        }
+        assert!(d.registers().down_count() > 0);
+        d.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::BuddyWakeFail, FaultTrigger::Prob(1.0))
+                .build(1),
+        );
+        let baseline = d.stats.hotplug_time;
+        d.handle_allocation_stall(SimTime::from_secs(30), &mut mm, 30_000)
+            .unwrap();
+        assert!(d.stats.buddy_wake_failures > 0);
+        assert!(d.stats.retries >= d.stats.buddy_wake_failures);
+        assert!(d.stats.hotplug_time > baseline);
+        // Safety: every group backing an on-line block is awake.
+        let offline: Vec<bool> = mm.blocks().iter().map(|b| !b.online).collect();
+        let fully = d.map.fully_offline_groups(&offline[..d.map.blocks()]);
+        for g in 0..d.map.groups() {
+            let group = SubArrayGroup::new(g);
+            if d.registers().is_down(group) {
+                assert!(fully[g as usize], "woken block left its group down");
+            }
+        }
+    }
+
+    #[test]
+    fn mrs_ack_delay_charges_latency() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let (mut d, mut mm) = setup(GreenDimmConfig::paper_default());
+        let (mut plain, mut mm2) = setup(GreenDimmConfig::paper_default());
+        d.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::MrsAckDelay, FaultTrigger::Prob(1.0))
+                .build(1),
+        );
+        for s in 0..20 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+            plain.tick(SimTime::from_secs(s), &mut mm2).unwrap();
+        }
+        assert!(d.stats.mrs_ack_delays > 0);
+        assert_eq!(d.registers().down_count(), plain.registers().down_count());
+        assert_eq!(
+            d.stats.hotplug_time,
+            plain.stats.hotplug_time + MRS_ACK_DELAY * d.stats.mrs_ack_delays
+        );
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod verify;
 
 pub use config::{GreenDimmConfig, SelectorPolicy};
 pub use cosim::{EpochSim, FootprintDriver};
-pub use daemon::{Daemon, DaemonStats, TickReport};
+pub use daemon::{Daemon, DaemonStats, GroupRecovery, TickReport};
 pub use groupmap::GroupMap;
 pub use registers::{GroupRegisterFile, DEEP_PD_EXIT};
 pub use system::{AppRunReport, GreenDimmSystem, SystemConfig};
-pub use verify::VerifyHarness;
+pub use verify::{quarantine_observations, VerifyHarness};

@@ -79,6 +79,13 @@ impl GroupRegisterFile {
         Ok(())
     }
 
+    /// When the group is down, the time it entered deep power-down
+    /// (drives the quarantine invariant in `gd-verify`).
+    pub fn down_since(&self, g: SubArrayGroup) -> Option<SimTime> {
+        let i = g.index();
+        (self.bits.get(i) == Some(&true)).then(|| self.since[i])
+    }
+
     /// Polls the ready bit: true when the group has completed its exit and
     /// can serve requests (the daemon polls this before `online_pages()`).
     pub fn is_ready(&self, g: SubArrayGroup, now: SimTime) -> bool {

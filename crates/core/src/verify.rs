@@ -22,6 +22,7 @@ use gd_ksm::Ksm;
 use gd_mmsim::MemoryManager;
 use gd_types::ids::SubArrayGroup;
 use gd_types::Result;
+use gd_verify::faults::QuarantineObs;
 use gd_verify::obs::{DaemonTickObs, GroupStateObs};
 use gd_verify::{Checker, CheckerStats, Mode, Violation};
 
@@ -33,6 +34,7 @@ pub struct VerifyHarness {
     ksm: Checker<Ksm>,
     tick: Checker<DaemonTickObs>,
     group: Checker<[GroupStateObs]>,
+    quarantine: Checker<[QuarantineObs]>,
 }
 
 impl VerifyHarness {
@@ -44,6 +46,7 @@ impl VerifyHarness {
             ksm: gd_verify::ksm::standard_checker(mode),
             tick: gd_verify::obs::tick_checker(mode),
             group: gd_verify::obs::group_checker(mode),
+            quarantine: gd_verify::faults::quarantine_checker(mode),
         }
     }
 
@@ -72,6 +75,8 @@ impl VerifyHarness {
         }
         let groups = group_observations(daemon, mm);
         self.group.run(&groups[..])?;
+        let quarantine = quarantine_observations(daemon);
+        self.quarantine.run(&quarantine[..])?;
         Ok(())
     }
 
@@ -113,6 +118,7 @@ impl VerifyHarness {
             &self.ksm.stats,
             &self.tick.stats,
             &self.group.stats,
+            &self.quarantine.stats,
         ]
         .into_iter()
     }
@@ -141,6 +147,25 @@ pub fn group_observations(daemon: &Daemon, mm: &MemoryManager) -> Vec<GroupState
                 buddy_down: regs.is_down(buddy),
                 buddy_fully_offline: fully.get(buddy.index()).copied().unwrap_or(false),
                 neighbor_constraint: constraint,
+            }
+        })
+        .collect()
+}
+
+/// Derives the fault-recovery observations ([`QuarantineObs`]) from live
+/// daemon state.
+pub fn quarantine_observations(daemon: &Daemon) -> Vec<QuarantineObs> {
+    let regs = daemon.registers();
+    (0..daemon.group_map().groups())
+        .map(|g| {
+            let group = SubArrayGroup::new(g);
+            let rec = daemon.recovery(group).copied().unwrap_or_default();
+            QuarantineObs {
+                group: group.index(),
+                down: regs.is_down(group),
+                down_since_ns: regs.down_since(group).map_or(0, |t| t.as_nanos()),
+                quarantined_until_ns: rec.quarantined_until.as_nanos(),
+                degraded: rec.degraded,
             }
         })
         .collect()
@@ -182,6 +207,25 @@ mod tests {
         assert!(h.checks_run() > 0);
         assert_eq!(h.violations(), 0);
         assert!(h.recorded().is_empty());
+    }
+
+    #[test]
+    fn faulted_run_passes_quarantine_invariants() {
+        use gd_faults::{FaultPlan, FaultSite, FaultTrigger};
+        let (mut d, mut mm) = setup();
+        d.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::DeepPdEntryNack, FaultTrigger::Prob(0.5))
+                .with(FaultSite::BuddyWakeFail, FaultTrigger::Prob(0.5))
+                .build(11),
+        );
+        let mut h = VerifyHarness::new(Mode::Strict);
+        for s in 0..60 {
+            d.tick(SimTime::from_secs(s), &mut mm).unwrap();
+            h.check_state(&d, &mm, None).unwrap();
+        }
+        assert!(d.stats.deep_pd_nacks > 0, "the fault plan must bite");
+        assert_eq!(h.violations(), 0);
     }
 
     #[test]

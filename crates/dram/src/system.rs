@@ -85,6 +85,25 @@ impl MemorySystem {
         })
     }
 
+    /// Builds a memory system whose power-down/self-refresh wake latencies
+    /// (tXP, tXS) are stretched `mult`× — the `gd-faults` WakeStretch
+    /// site's worst-case wake model. The stretch is applied to the
+    /// configuration before any channel is built, so both engine modes see
+    /// identical timing and stay bit-equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GdError::InvalidConfig`] for inconsistent configurations.
+    pub fn with_wake_stretch(
+        mut cfg: DramConfig,
+        policy: LowPowerPolicy,
+        mult: u64,
+    ) -> Result<Self> {
+        cfg.timing.t_xp *= mult.max(1);
+        cfg.timing.t_xs *= mult.max(1);
+        MemorySystem::new(cfg, policy)
+    }
+
     /// Selects the time-advance engine (see [`EngineMode`]).
     pub fn set_engine_mode(&mut self, mode: EngineMode) {
         self.mode = mode;
@@ -556,6 +575,39 @@ mod tests {
             (cfg.org.channels * cfg.org.ranks_per_channel) as usize
         );
         assert_eq!(tele.registry.counter("t.dram.cycles"), clock);
+    }
+
+    #[test]
+    fn wake_stretch_slows_wakes_but_a_1x_stretch_is_identity() {
+        let cfg = DramConfig::small_test();
+        let plain = MemorySystem::new(cfg, LowPowerPolicy::srf_default()).unwrap();
+        let one = MemorySystem::with_wake_stretch(cfg, LowPowerPolicy::srf_default(), 1).unwrap();
+        assert_eq!(plain.config(), one.config(), "1x stretch changes nothing");
+        let four = MemorySystem::with_wake_stretch(cfg, LowPowerPolicy::srf_default(), 4).unwrap();
+        assert_eq!(four.config().timing.t_xp, cfg.timing.t_xp * 4);
+        assert_eq!(four.config().timing.t_xs, cfg.timing.t_xs * 4);
+        // A sparse trace that forces low-power entries between requests
+        // pays the stretched wake latency on every re-entry.
+        let reqs = seq_reads(64, 64, 20_000);
+        let mut fast = MemorySystem::new(cfg, LowPowerPolicy::srf_default()).unwrap();
+        let mut slow =
+            MemorySystem::with_wake_stretch(cfg, LowPowerPolicy::srf_default(), 16).unwrap();
+        let fast_lat = fast
+            .run_trace(reqs.clone())
+            .unwrap()
+            .read_latency
+            .mean()
+            .unwrap_or(0.0);
+        let slow_lat = slow
+            .run_trace(reqs)
+            .unwrap()
+            .read_latency
+            .mean()
+            .unwrap_or(0.0);
+        assert!(
+            slow_lat > fast_lat,
+            "stretched wakes must raise mean latency: {slow_lat} vs {fast_lat}"
+        );
     }
 
     #[test]

@@ -1,0 +1,18 @@
+// gd-lint-fixture: path=crates/faults/src/fixture.rs
+// A fault plan built from ambient entropy breaks the gd-faults
+// determinism contract (per-site streams must derive from the run seed).
+
+pub fn build_random_plan(rate: f64) -> FaultInjector {
+    let seed = rand::random(); //~ sim-purity
+    FaultPlan::uniform(rate).build(seed)
+}
+
+pub fn jittered_backoff(base: SimTime) -> SimTime {
+    let mut rng = rand::thread_rng(); //~ sim-purity
+    base * (1 + rng.next_u64() % 4)
+}
+
+pub fn wallclock_quarantine() -> u128 {
+    let t0 = std::time::Instant::now(); //~ sim-purity
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,17 @@
+// gd-lint-fixture: path=crates/faults/src/fixture.rs
+// The deterministic shape: every injector stream derives from the run
+// seed and a stable site label; backoff is computed in sim-time.
+
+use gd_types::rng::derive_seed;
+
+pub fn build_plan(rate: f64, seed: u64) -> FaultInjector {
+    FaultPlan::uniform(rate).build(derive_seed(seed, "faults.mm"))
+}
+
+pub fn per_site_stream(seed: u64, site: FaultSite) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, site.label()))
+}
+
+pub fn backoff(policy: &RetryPolicy, consecutive: u32) -> SimTime {
+    policy.backoff_after(consecutive)
+}

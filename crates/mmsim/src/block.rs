@@ -103,6 +103,11 @@ impl MemoryBlock {
         self.unmovable_pages + self.pinned_pages
     }
 
+    /// Device-pinned pages only (distinguishes EBUSY causes).
+    pub fn pinned_pages(&self) -> u64 {
+        self.pinned_pages
+    }
+
     /// The sysfs `removable` flag.
     pub fn removable(&self) -> bool {
         self.unmovable_pages() == 0

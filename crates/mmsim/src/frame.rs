@@ -58,12 +58,54 @@ pub struct OfflineReport {
     pub migrated_pages: u64,
 }
 
+/// The structured cause behind an off-lining failure. An errno collapses
+/// distinct causes (pinned DMA targets and kernel slabs both surface as
+/// EBUSY); governors and telemetry want the distinction, so
+/// [`OfflineFailure`] carries both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfflineError {
+    /// The block holds device-pinned pages (DMA targets).
+    Pinned,
+    /// The block holds kernel allocations (slab, page tables).
+    KernelBlock,
+    /// Page migration started but aborted partway; already-moved frames
+    /// were rolled back.
+    MigrationAborted,
+}
+
+impl OfflineError {
+    /// The errno the kernel surfaces for this cause.
+    pub fn errno(self) -> OfflineErrno {
+        match self {
+            OfflineError::Pinned | OfflineError::KernelBlock => OfflineErrno::Busy,
+            OfflineError::MigrationAborted => OfflineErrno::Again,
+        }
+    }
+
+    /// Stable label for telemetry and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OfflineError::Pinned => "pinned",
+            OfflineError::KernelBlock => "kernel-block",
+            OfflineError::MigrationAborted => "migration-aborted",
+        }
+    }
+}
+
+impl fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The result of a failed off-lining, including the time wasted — EAGAIN
 /// failures cost ~3× a successful off-lining (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfflineFailure {
     /// Which errno the kernel returned.
     pub errno: OfflineErrno,
+    /// The structured cause behind the errno.
+    pub cause: OfflineError,
     /// Wall-clock cost of the failed attempt.
     pub latency: SimTime,
 }
@@ -71,9 +113,17 @@ pub struct OfflineFailure {
 impl fmt::Display for OfflineFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.errno {
-            OfflineErrno::Busy => write!(f, "off-lining failed with EBUSY after {}", self.latency),
+            OfflineErrno::Busy => write!(
+                f,
+                "off-lining failed with EBUSY ({}) after {}",
+                self.cause, self.latency
+            ),
             OfflineErrno::Again => {
-                write!(f, "off-lining failed with EAGAIN after {}", self.latency)
+                write!(
+                    f,
+                    "off-lining failed with EAGAIN ({}) after {}",
+                    self.cause, self.latency
+                )
             }
         }
     }
@@ -95,8 +145,17 @@ mod tests {
         assert_eq!(AllocationId(7).to_string(), "alloc7");
         let f = OfflineFailure {
             errno: OfflineErrno::Again,
+            cause: OfflineError::MigrationAborted,
             latency: SimTime::from_millis(4),
         };
         assert!(f.to_string().contains("EAGAIN"));
+        assert!(f.to_string().contains("migration-aborted"));
+    }
+
+    #[test]
+    fn cause_errno_mapping() {
+        assert_eq!(OfflineError::Pinned.errno(), OfflineErrno::Busy);
+        assert_eq!(OfflineError::KernelBlock.errno(), OfflineErrno::Busy);
+        assert_eq!(OfflineError::MigrationAborted.errno(), OfflineErrno::Again);
     }
 }

@@ -36,6 +36,8 @@ pub mod manager;
 
 pub use block::{BlockInfo, MemoryBlock};
 pub use buddy::{BuddyAllocator, MAX_ORDER};
-pub use frame::{AllocationId, OfflineErrno, OfflineFailure, OfflineReport, PageKind, PAGE_BYTES};
+pub use frame::{
+    AllocationId, OfflineErrno, OfflineError, OfflineFailure, OfflineReport, PageKind, PAGE_BYTES,
+};
 pub use latency::HotplugLatencies;
 pub use manager::{HotplugStats, MemInfo, MemoryManager, MmConfig};

@@ -1,12 +1,13 @@
 //! The physical-memory manager: allocation across blocks, page migration,
 //! and the memory on/off-lining operations GreenDIMM drives.
 
-use crate::block::{BlockInfo, MemoryBlock};
+use crate::block::{BlockInfo, Chunk, MemoryBlock};
 use crate::buddy::MAX_ORDER;
 use crate::frame::{
-    AllocationId, OfflineErrno, OfflineFailure, OfflineReport, PageKind, PAGE_BYTES,
+    AllocationId, OfflineErrno, OfflineError, OfflineFailure, OfflineReport, PageKind, PAGE_BYTES,
 };
 use crate::latency::HotplugLatencies;
+use gd_faults::{FaultInjector, FaultSite, MIGRATION_SLOWDOWN};
 use gd_types::rng::{component_rng, StdRng};
 use gd_types::stats::Summary;
 use gd_types::{GdError, Result, SimTime};
@@ -132,6 +133,14 @@ pub struct HotplugStats {
     pub offline_ebusy: u64,
     /// EAGAIN failures.
     pub offline_eagain: u64,
+    /// EBUSY failures caused by device-pinned pages (including injected
+    /// pin faults).
+    pub offline_pinned: u64,
+    /// EBUSY failures caused by kernel (slab/page-table) pages.
+    pub offline_kernel: u64,
+    /// Mid-migration aborts whose already-placed destination frames were
+    /// rolled back transactionally.
+    pub rollbacks: u64,
     /// On-linings.
     pub online_count: u64,
     /// Pages migrated during off-lining.
@@ -163,6 +172,10 @@ struct AllocInfo {
     pages: u64,
 }
 
+/// One journalled migration step: the source chunk's offset and
+/// metadata plus the `(block, offset)` destinations reserved for it.
+type MigrationJournalEntry = (u32, Chunk, Vec<(usize, u32)>);
+
 /// The simulated physical-memory manager.
 #[derive(Debug)]
 pub struct MemoryManager {
@@ -175,8 +188,26 @@ pub struct MemoryManager {
     next_id: u64,
     rng: StdRng,
     latencies: HotplugLatencies,
+    /// Optional fault injector (see `gd-faults`); `None` and an inactive
+    /// plan behave identically (no stream draws, no telemetry keys).
+    faults: Option<FaultInjector>,
+    /// Test hook: when set, a migration abort "forgets" to undo one
+    /// reserved destination chunk so Strict verification can prove it
+    /// catches broken rollbacks.
+    break_rollback: bool,
     /// Hotplug statistics.
     pub stats: HotplugStats,
+}
+
+/// Outcome of one migration attempt.
+enum MigrateOutcome {
+    /// Every movable chunk left the block.
+    Done,
+    /// Not enough free space elsewhere; nothing was changed.
+    NoSpace,
+    /// An injected fault aborted the attempt partway; reserved
+    /// destination frames were rolled back.
+    Aborted,
 }
 
 impl MemoryManager {
@@ -225,9 +256,32 @@ impl MemoryManager {
             next_id: 1,
             rng: component_rng(cfg.seed, "mmsim"),
             latencies: HotplugLatencies::default(),
+            faults: None,
+            break_rollback: false,
             stats: HotplugStats::default(),
             cfg,
         })
+    }
+
+    /// Installs a fault injector. Passing an inactive injector (or never
+    /// calling this) leaves every code path byte-identical to a build
+    /// without fault support.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Deliberately breaks migration-abort rollback (leaks one reserved
+    /// destination chunk into the owner's chunk list without adjusting
+    /// its page count). Only for negative tests proving that Strict
+    /// verification catches the accounting corruption.
+    #[doc(hidden)]
+    pub fn debug_break_rollback(&mut self) {
+        self.break_rollback = true;
     }
 
     /// The configuration.
@@ -470,8 +524,21 @@ impl MemoryManager {
                 "block {index} is already offline"
             )));
         }
-        // EBUSY: isolation fails on unmovable pages.
-        if self.blocks[index].unmovable_pages() > 0 {
+        // EBUSY: isolation fails on unmovable pages, or an injected pin
+        // fault (a page grabbed a DMA reference between the removable
+        // check and isolation).
+        let injected_pin = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.should_fire(FaultSite::OfflinePinned));
+        if injected_pin || self.blocks[index].unmovable_pages() > 0 {
+            let cause = if injected_pin || self.blocks[index].pinned_pages() > 0 {
+                self.stats.offline_pinned += 1;
+                OfflineError::Pinned
+            } else {
+                self.stats.offline_kernel += 1;
+                OfflineError::KernelBlock
+            };
             let latency = self.latencies.ebusy;
             self.stats.offline_ebusy += 1;
             self.stats
@@ -480,6 +547,7 @@ impl MemoryManager {
             self.stats.total_time += latency;
             return Ok(Err(OfflineFailure {
                 errno: OfflineErrno::Busy,
+                cause,
                 latency,
             }));
         }
@@ -505,9 +573,12 @@ impl MemoryManager {
             if transient {
                 continue;
             }
-            if self.try_migrate_out(index) {
-                migrated = true;
-                break;
+            match self.try_migrate_out(index) {
+                MigrateOutcome::Done => {
+                    migrated = true;
+                    break;
+                }
+                MigrateOutcome::NoSpace | MigrateOutcome::Aborted => {}
             }
         }
         if !migrated {
@@ -519,11 +590,21 @@ impl MemoryManager {
             self.stats.total_time += latency;
             return Ok(Err(OfflineFailure {
                 errno: OfflineErrno::Again,
+                cause: OfflineError::MigrationAborted,
                 latency,
             }));
         }
-        let latency =
-            self.latencies.offline_success + self.latencies.per_migrated_page * to_migrate;
+        // Injected compaction contention inflates the per-page copy cost.
+        let slow = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.should_fire(FaultSite::MigrationSlow));
+        let per_page = if slow {
+            self.latencies.per_migrated_page * MIGRATION_SLOWDOWN
+        } else {
+            self.latencies.per_migrated_page
+        };
+        let latency = self.latencies.offline_success + per_page * to_migrate;
         self.blocks[index].set_online(false);
         self.stats.offline_success += 1;
         self.stats.migrated_pages += to_migrate;
@@ -538,8 +619,16 @@ impl MemoryManager {
     }
 
     /// Moves every movable chunk out of `index` into other on-line blocks.
-    /// Returns false (leaving state unchanged) if space is insufficient.
-    fn try_migrate_out(&mut self, index: usize) -> bool {
+    ///
+    /// Runs as a two-phase transaction. Phase 1 *reserves* destination
+    /// chunks while the source chunks stay in place, journalling every
+    /// reservation; an injected [`FaultSite::MigrationAbort`] fault lands
+    /// mid-journal and rolls the reservations back, leaving the manager
+    /// byte-identical to the pre-attempt state. Phase 2 commits: sources
+    /// are freed and the owners' chunk lists are patched. Destination
+    /// placement excludes the source block, so reserving before freeing
+    /// picks exactly the chunks the old single-pass code did.
+    fn try_migrate_out(&mut self, index: usize) -> MigrateOutcome {
         let needed = self.blocks[index].movable_pages();
         let free_elsewhere: u64 = self
             .blocks
@@ -549,16 +638,30 @@ impl MemoryManager {
             .map(|(_, b)| b.free_pages())
             .sum();
         if free_elsewhere < needed {
-            return false;
+            return MigrateOutcome::NoSpace;
         }
         let offsets = self.blocks[index].chunk_offsets();
-        for off in offsets {
-            let chunk = self.blocks[index].free_chunk(off);
+        // One abort decision per attempt; when it fires, the abort lands
+        // halfway through the chunk list so there is real work to undo.
+        let abort_at = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.should_fire(FaultSite::MigrationAbort))
+            .then_some(offsets.len() / 2);
+        // Phase 1: reserve destinations; sources untouched.
+        let mut journal: Vec<MigrationJournalEntry> = Vec::new();
+        for (pos, off) in offsets.iter().copied().enumerate() {
+            if abort_at == Some(pos) {
+                self.rollback_migration(journal);
+                self.stats.rollbacks += 1;
+                return MigrateOutcome::Aborted;
+            }
+            let chunk = *self.blocks[index]
+                .chunk_at(off)
+                .expect("invariant: chunk_offsets lists live chunks");
             debug_assert!(chunk.kind.is_movable());
-            let pages = 1u64 << chunk.order;
-            // Place in the first other block with room.
             let mut placed: Vec<(usize, u32)> = Vec::new();
-            let mut remaining = pages;
+            let mut remaining = 1u64 << chunk.order;
             for bi in 0..self.blocks.len() {
                 if bi == index || !self.blocks[bi].online() || remaining == 0 {
                     continue;
@@ -571,13 +674,38 @@ impl MemoryManager {
                 }
             }
             debug_assert_eq!(remaining, 0, "free space was pre-checked");
-            // Update the owner's chunk list.
+            journal.push((off, chunk, placed));
+        }
+        // Phase 2: commit — free sources, patch the owners' chunk lists.
+        for (off, chunk, placed) in journal {
+            self.blocks[index].free_chunk(off);
             if let Some(info) = self.allocs.get_mut(&chunk.owner) {
                 info.chunks.retain(|(bi, o)| !(*bi == index && *o == off));
                 info.chunks.extend(placed);
             }
         }
-        true
+        MigrateOutcome::Done
+    }
+
+    /// Undoes a partial migration: frees every reserved destination
+    /// chunk. With `break_rollback` set (negative tests only), the first
+    /// reservation is instead leaked into its owner's chunk list without
+    /// adjusting the page count — corruption [`MemoryManager::audit`]
+    /// (and therefore Strict `mm.buddy-consistency`) must detect.
+    fn rollback_migration(&mut self, journal: Vec<MigrationJournalEntry>) {
+        let mut leak_one = self.break_rollback;
+        for (_, chunk, placed) in journal {
+            for (bi, noff) in placed {
+                if leak_one {
+                    leak_one = false;
+                    if let Some(info) = self.allocs.get_mut(&chunk.owner) {
+                        info.chunks.push((bi, noff));
+                    }
+                    continue;
+                }
+                self.blocks[bi].free_chunk(noff);
+            }
+        }
     }
 
     /// External-fragmentation index of the on-line free memory, in `[0, 1]`:
@@ -683,6 +811,9 @@ impl MemoryManager {
         reg.counter_add(&format!("{scope}.mm.offline_success"), s.offline_success);
         reg.counter_add(&format!("{scope}.mm.offline_ebusy"), s.offline_ebusy);
         reg.counter_add(&format!("{scope}.mm.offline_eagain"), s.offline_eagain);
+        reg.counter_add(&format!("{scope}.mm.offline_pinned"), s.offline_pinned);
+        reg.counter_add(&format!("{scope}.mm.offline_kernel"), s.offline_kernel);
+        reg.counter_add(&format!("{scope}.mm.rollbacks"), s.rollbacks);
         reg.counter_add(&format!("{scope}.mm.online_count"), s.online_count);
         reg.counter_add(&format!("{scope}.mm.migrated_pages"), s.migrated_pages);
         reg.counter_add(
@@ -700,6 +831,11 @@ impl MemoryManager {
             &format!("{scope}.mm.offline_blocks"),
             self.offline_block_count() as f64,
         );
+        // Per-site fault counters; a missing or inactive injector
+        // exports nothing, keeping faultless telemetry byte-identical.
+        if let Some(f) = &self.faults {
+            f.export_telemetry(tele, scope);
+        }
     }
 }
 
@@ -883,6 +1019,132 @@ mod tests {
             m.fragmentation_index() > frag_some,
             "shattered tail must raise the index"
         );
+    }
+
+    #[test]
+    fn offline_failure_causes_are_structured() {
+        let mut m = mm();
+        m.allocate(100, PageKind::KernelUnmovable).unwrap();
+        let fail = m.offline_block(0).unwrap().unwrap_err();
+        assert_eq!(fail.cause, OfflineError::KernelBlock);
+        assert_eq!(m.stats.offline_kernel, 1);
+        assert_eq!(m.stats.offline_pinned, 0);
+
+        let mut m2 = mm();
+        m2.allocate(100, PageKind::Pinned).unwrap();
+        let fail = m2.offline_block(0).unwrap().unwrap_err();
+        assert_eq!(fail.cause, OfflineError::Pinned);
+        assert_eq!(m2.stats.offline_pinned, 1);
+
+        let mut m3 = mm();
+        let total = m3.meminfo().total_pages;
+        m3.allocate(total - 100, PageKind::UserMovable).unwrap();
+        let fail = m3.offline_block(0).unwrap().unwrap_err();
+        assert_eq!(fail.cause, OfflineError::MigrationAborted);
+    }
+
+    #[test]
+    fn injected_pin_fault_forces_ebusy_on_a_free_block() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let mut m = mm();
+        m.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::OfflinePinned, FaultTrigger::OneShot(1))
+                .build(m.config().seed),
+        );
+        let fail = m.offline_block(15).unwrap().unwrap_err();
+        assert_eq!(fail.errno, OfflineErrno::Busy);
+        assert_eq!(fail.cause, OfflineError::Pinned);
+        assert_eq!(m.stats.offline_pinned, 1);
+        assert!(m.block_info(15).unwrap().online, "block must stay online");
+        // The one-shot is spent: the next attempt succeeds.
+        assert!(m.offline_block(15).unwrap().is_ok());
+    }
+
+    #[test]
+    fn migration_abort_rolls_back_exactly() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let mut m = mm();
+        let id = m.allocate(2000, PageKind::UserMovable).unwrap();
+        let before = m.meminfo();
+        // Abort all three migration attempts → EAGAIN, fully rolled back.
+        m.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::MigrationAbort, FaultTrigger::Prob(1.0))
+                .build(1),
+        );
+        let fail = m.offline_block(0).unwrap().unwrap_err();
+        assert_eq!(fail.errno, OfflineErrno::Again);
+        assert_eq!(fail.cause, OfflineError::MigrationAborted);
+        assert_eq!(m.stats.rollbacks, 3, "all three attempts rolled back");
+        assert_eq!(m.meminfo(), before, "rollback must restore accounting");
+        assert_eq!(m.pages_of(id), 2000);
+        m.audit().expect("rollback leaves a consistent manager");
+        // Data never moved: block 0 still holds the pages.
+        assert!(m.block_info(0).unwrap().used_pages > 0);
+    }
+
+    #[test]
+    fn broken_rollback_is_caught_by_audit() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let mut m = mm();
+        m.allocate(2000, PageKind::UserMovable).unwrap();
+        m.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::MigrationAbort, FaultTrigger::OneShot(1))
+                .build(1),
+        );
+        m.debug_break_rollback();
+        // First attempt aborts with the broken rollback; a later attempt
+        // may still succeed, but the leaked chunk remains.
+        let _ = m.offline_block(0).unwrap();
+        let problems = m.audit().expect_err("leaked reservation must be caught");
+        assert!(
+            problems.iter().any(|p| p.contains("pages but the table")),
+            "expected a page-sum mismatch, got: {problems:?}"
+        );
+    }
+
+    #[test]
+    fn slow_migration_fault_inflates_latency_only() {
+        use gd_faults::{FaultPlan, FaultTrigger};
+        let mut m = mm();
+        m.allocate(2000, PageKind::UserMovable).unwrap();
+        let mut plain = mm();
+        plain.allocate(2000, PageKind::UserMovable).unwrap();
+        m.set_fault_injector(
+            FaultPlan::none()
+                .with(FaultSite::MigrationSlow, FaultTrigger::Prob(1.0))
+                .build(1),
+        );
+        let slow = m.offline_block(0).unwrap().unwrap();
+        let fast = plain.offline_block(0).unwrap().unwrap();
+        assert_eq!(slow.migrated_pages, fast.migrated_pages);
+        assert!(slow.latency > fast.latency);
+        assert_eq!(m.meminfo(), plain.meminfo(), "placement identical");
+    }
+
+    #[test]
+    fn inactive_injector_is_byte_identical_to_none() {
+        use gd_faults::FaultPlan;
+        let drive = |m: &mut MemoryManager| {
+            let a = m.allocate(3000, PageKind::UserMovable).unwrap();
+            m.offline_block(0).unwrap().unwrap();
+            m.shrink(a, 500).unwrap();
+            m.offline_block(1).unwrap().unwrap();
+            m.online_block(0).unwrap();
+            m.meminfo()
+        };
+        let mut with_inactive = mm();
+        with_inactive.set_fault_injector(FaultPlan::uniform(0.0).build(9));
+        let mut without = mm();
+        assert_eq!(drive(&mut with_inactive), drive(&mut without));
+        assert_eq!(with_inactive.stats.rollbacks, 0);
+        let mut ta = gd_obs::Telemetry::new();
+        let mut tb = gd_obs::Telemetry::new();
+        with_inactive.export_telemetry(&mut ta, "mm");
+        without.export_telemetry(&mut tb, "mm");
+        assert_eq!(ta.render_jsonl("p"), tb.render_jsonl("p"));
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   violation);
 //! * the [`mm`], [`ksm`], and [`obs`] modules provide the standard
 //!   invariant sets for the physical-memory simulator, the KSM simulator,
-//!   and the GreenDIMM daemon's observable behaviour; [`telemetry`] checks
-//!   exported gd-obs data (residency histograms sum to elapsed sim time).
+//!   and the GreenDIMM daemon's observable behaviour; [`faults`] covers
+//!   the fault-recovery contract (quarantine backoff respected, degraded
+//!   groups stay shallow); [`telemetry`] checks exported gd-obs data
+//!   (residency histograms sum to elapsed sim time).
 //!
 //! The DRAM command-protocol validator lives with the command log it
 //! replays, in [`gd_dram::validate`]; this crate covers everything above
@@ -21,6 +23,7 @@
 //! is the source-level determinism gate that backs the workspace clippy
 //! configuration.
 
+pub mod faults;
 pub mod ksm;
 pub mod mm;
 pub mod obs;

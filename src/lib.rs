@@ -13,6 +13,8 @@
 //! * [`workloads`] — benchmark profiles, trace generators, and the Azure VM
 //!   trace synthesizer.
 //! * [`obs`] — deterministic telemetry: metrics registry and JSONL trace.
+//! * [`faults`] — deterministic fault injection plans and the shared
+//!   retry/backoff policy.
 //! * [`baselines`] — self-refresh-only, RAMZzz, and PASR governors.
 //! * [`verify`] — the cross-crate invariant checker and determinism gate.
 //! * [`core`] — the GreenDIMM daemon and full-system co-simulation.
@@ -30,6 +32,7 @@
 pub use gd_baselines as baselines;
 pub use gd_bench as bench;
 pub use gd_dram as dram;
+pub use gd_faults as faults;
 pub use gd_ksm as ksm;
 pub use gd_mmsim as mmsim;
 pub use gd_obs as obs;

@@ -236,6 +236,63 @@ fn telemetry_identical_across_engines() {
     }
 }
 
+/// A faulted co-simulation (mm + daemon + dram injectors at a biting rate)
+/// must produce identical rows and byte-identical telemetry whichever
+/// time-advance engine drives the DRAM probe — fault injection must not
+/// open a determinism hole between the engines.
+#[test]
+fn faulted_runs_equivalent_across_engines() {
+    use greendimm_suite::bench::robustness::robustness_experiment;
+    let profile = by_name("mcf").unwrap();
+    let run =
+        |engine: EngineMode| robustness_experiment(&profile, 0.25, engine, 17, None, true).unwrap();
+    let (a_row, a_tele) = run(EngineMode::Stepped);
+    let (b_row, b_tele) = run(EngineMode::EventDriven);
+    assert!(a_row.faults_injected > 0, "the fault plan must bite");
+    assert_eq!(a_row, b_row, "faulted rows diverged between engines");
+    assert_eq!(
+        a_tele.unwrap().render_jsonl("p"),
+        b_tele.unwrap().render_jsonl("p"),
+        "faulted telemetry diverged between engines"
+    );
+}
+
+/// A rate-0 faulted run equals a run with no injectors at all — installing
+/// the fault machinery must be free when every trigger is disarmed.
+#[test]
+fn rate_zero_equals_no_injector_run() {
+    use greendimm_suite::bench::robustness::robustness_experiment_with_plan;
+    use greendimm_suite::faults::FaultPlan;
+    let profile = by_name("mcf").unwrap();
+    let inactive = FaultPlan::uniform(0.0);
+    let (a_row, a_tele) = robustness_experiment_with_plan(
+        &profile,
+        Some(&inactive),
+        0.0,
+        EngineMode::EventDriven,
+        5,
+        None,
+        true,
+    )
+    .unwrap();
+    let (b_row, b_tele) = robustness_experiment_with_plan(
+        &profile,
+        None,
+        0.0,
+        EngineMode::EventDriven,
+        5,
+        None,
+        true,
+    )
+    .unwrap();
+    assert_eq!(a_row, b_row, "inactive injectors changed the row");
+    assert_eq!(
+        a_tele.unwrap().render_jsonl("p"),
+        b_tele.unwrap().render_jsonl("p"),
+        "inactive injectors changed the telemetry bytes"
+    );
+}
+
 /// Merged telemetry shards from the sweep pool must be byte-identical for
 /// `--jobs 1` and `--jobs 4`: shards merge in point-index order, never
 /// completion order, so the worker count cannot leak into the output.

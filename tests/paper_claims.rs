@@ -71,6 +71,7 @@ fn governor_ordering_without_interleaving() {
         measured_sr_fraction: 0.5,
         runtime_s: 100.0,
         offline_fraction: 0.85,
+        offline_failures: Default::default(),
     };
     let model = DramPowerModel::new(DramConfig::ddr4_2133_64gb());
     let power = |g: &dyn PowerGovernor| {

@@ -66,4 +66,30 @@ head -1 /tmp/fig03_telemetry.ci.jsonl | grep -q '^{"type":' || {
 }
 rm -f /tmp/fig03_telemetry.ci.jsonl
 
+echo "==> fault smoke (fig_faults single rate, trimmed seed count)"
+cargo run --quiet --release -p gd-bench --bin fig_faults -- --fault-rate 0.1 --requests 1 \
+  > /dev/null
+
+echo "==> fault equivalence (byte-identical across --jobs 1 vs 4 and stepped vs event engines)"
+cargo run --quiet --release -p gd-bench --bin fig_faults -- --jobs 1 --requests 1 \
+  > /tmp/fig_faults.j1.ci.txt
+cargo run --quiet --release -p gd-bench --bin fig_faults -- --jobs 4 --requests 1 \
+  > /tmp/fig_faults.j4.ci.txt
+# The provenance header records the pinned jobs value; everything below it
+# must be byte-identical.
+diff -u <(tail -n +2 /tmp/fig_faults.j1.ci.txt) <(tail -n +2 /tmp/fig_faults.j4.ci.txt) || {
+  echo "ERROR: fig_faults output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+cargo run --quiet --release -p gd-bench --bin fig_faults -- --engine stepped --requests 1 \
+  > /tmp/fig_faults.st.ci.txt
+cargo run --quiet --release -p gd-bench --bin fig_faults -- --engine event --requests 1 \
+  > /tmp/fig_faults.ev.ci.txt
+# The provenance header records the engine name; the rows must match.
+diff -u <(tail -n +2 /tmp/fig_faults.st.ci.txt) <(tail -n +2 /tmp/fig_faults.ev.ci.txt) || {
+  echo "ERROR: fig_faults output differs between stepped and event-driven engines" >&2
+  exit 1
+}
+rm -f /tmp/fig_faults.{j1,j4,st,ev}.ci.txt
+
 echo "==> all checks passed"
