@@ -8,7 +8,7 @@
 
 use gd_dram::{AddressMapper, EngineMode, LowPowerPolicy, MemRequest, MemorySystem};
 use gd_mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind};
-use gd_types::config::DramConfig;
+use gd_types::config::{DramConfig, InterleaveMode};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -133,6 +133,65 @@ fn bench_fastforward_governor() {
     }
 }
 
+/// Traffic-dense horizons (~1M cycles, one arrival every 8 cycles): the
+/// regime where the batched FR-FCFS arbitration and SoA timing state pay
+/// off. Three access patterns stress different arbiter paths:
+///
+/// * `read` — sequential reads marching through the interleaved space;
+///   almost every access is a row hit, so the hot path is the cached
+///   column-candidate lookup.
+/// * `mixed` — 3:1 read/write with a page-sized stride; exercises the
+///   per-kind candidate slots and read/write bus turnarounds.
+/// * `conflict` — linear (non-interleaved) mapping with pseudo-random
+///   rows, funnelling everything into one bank so nearly every access is
+///   a row conflict; stresses candidate invalidation + the per-row
+///   membership index that keeps re-scans from going quadratic.
+fn bench_traffic_dense() {
+    let cap = DramConfig::small_test().total_capacity_bytes();
+    let n = 125_000u64; // one arrival per 8 cycles for 1M cycles
+    let read_trace: Vec<_> = (0..n)
+        .map(|i| MemRequest::read((i * 64) % cap, i * 8))
+        .collect();
+    let mixed_trace: Vec<_> = (0..n)
+        .map(|i| {
+            let addr = (i * 4096) % cap;
+            if i % 4 == 3 {
+                MemRequest::write(addr, i * 8)
+            } else {
+                MemRequest::read(addr, i * 8)
+            }
+        })
+        .collect();
+    let conflict_trace: Vec<_> = (0..n)
+        .map(|i| {
+            let addr = (i.wrapping_mul(0x9e37_79b9) * 64) % (cap / 8);
+            MemRequest::read(addr, i * 8)
+        })
+        .collect();
+    let cases: [(&str, DramConfig, &[MemRequest]); 3] = [
+        ("read", DramConfig::small_test(), &read_trace),
+        ("mixed", DramConfig::small_test(), &mixed_trace),
+        (
+            "conflict",
+            DramConfig::small_test().with_interleave(InterleaveMode::Linear),
+            &conflict_trace,
+        ),
+    ];
+    for (pattern, cfg, trace) in cases {
+        for (tag, mode) in [
+            ("stepped", EngineMode::Stepped),
+            ("event", EngineMode::EventDriven),
+        ] {
+            bench(&format!("dram/traffic_1M_{pattern}_{tag}"), || {
+                let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())
+                    .unwrap()
+                    .with_engine_mode(mode);
+                black_box(sys.run_trace(trace.to_vec()).unwrap());
+            });
+        }
+    }
+}
+
 fn main() {
     bench_addr_decode();
     bench_buddy();
@@ -141,4 +200,5 @@ fn main() {
     bench_fastforward_idle();
     bench_fastforward_refresh();
     bench_fastforward_governor();
+    bench_traffic_dense();
 }

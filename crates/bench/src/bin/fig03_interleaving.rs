@@ -7,9 +7,9 @@
 //! timing lands in `results/BENCH_fig03_interleaving.json` and
 //! `--telemetry PATH` dumps each run's DRAM books as JSONL.
 
-use gd_bench::energy::{evaluate_app_tele, find_row, measure_app, MeasureOpts};
+use gd_bench::energy::{engine_name, evaluate_app_tele, find_row, measure_app_opts, MeasureOpts};
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_obs::Telemetry;
 use gd_types::config::{DramConfig, InterleaveMode};
 use gd_workloads::by_name;
@@ -26,13 +26,18 @@ struct Point {
 fn main() {
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
+    let mopts = MeasureOpts::from_args();
     let cfg = DramConfig::ddr4_2133_64gb();
     let apps = ["mcf", "soplex", "lbm", "libquantum"];
     let requests = sw.requests.unwrap_or(25_000);
-    print_provenance(
-        "fig03_interleaving",
-        &format!("ddr4-2133 64GB apps=mcf/soplex/lbm/libquantum requests={requests} seed=1"),
-        &sw,
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "fig03_interleaving",
+            &format!("ddr4-2133 64GB apps=mcf/soplex/lbm/libquantum requests={requests} seed=1"),
+            engine_name(mopts.engine),
+            &sw,
+        )
     );
     let labels: Vec<String> = apps.iter().map(|a| (*a).to_string()).collect();
     let points = timed_sweep(
@@ -42,14 +47,13 @@ fn main() {
         sw.jobs,
         |_ctx, name| {
             let p = by_name(name).expect("profile");
-            let with =
-                measure_app(&p, cfg, InterleaveMode::Interleaved, requests, 1).expect("cycle sim");
-            let without =
-                measure_app(&p, cfg, InterleaveMode::Linear, requests, 1).expect("cycle sim");
+            let with = measure_app_opts(&p, cfg, InterleaveMode::Interleaved, requests, 1, mopts)
+                .expect("cycle sim");
+            let without = measure_app_opts(&p, cfg, InterleaveMode::Linear, requests, 1, mopts)
+                .expect("cycle sim");
             let mut tele = topts.shard();
             let rows =
-                evaluate_app_tele(&p, cfg, requests, 1, MeasureOpts::default(), tele.as_mut())
-                    .expect("energy");
+                evaluate_app_tele(&p, cfg, requests, 1, mopts, tele.as_mut()).expect("energy");
             let e_with = find_row(&rows, "srf_only", true).expect("cell").system_j;
             let e_without = find_row(&rows, "srf_only", false).expect("cell").system_j;
             Point {

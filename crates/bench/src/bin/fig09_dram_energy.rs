@@ -8,9 +8,9 @@
 //! wall-clock profile lands in `results/BENCH_fig09_dram_energy.json`, and
 //! `--telemetry PATH` dumps each run's DRAM books as JSONL.
 
-use gd_bench::energy::{evaluate_app_tele, MeasureOpts};
+use gd_bench::energy::{engine_name, evaluate_app_tele, MeasureOpts};
 use gd_bench::report::{f2, header, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_types::config::DramConfig;
 use gd_types::stats::geomean;
 use gd_workloads::energy_figure_set;
@@ -21,10 +21,14 @@ fn main() {
     let topts = TelemetryOpts::from_args();
     let cfg = DramConfig::ddr4_2133_64gb();
     let requests = sw.requests.unwrap_or(20_000);
-    print_provenance(
-        "fig09_dram_energy",
-        &format!("ddr4-2133 64GB energy-figure-set requests={requests} seed=1"),
-        &sw,
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "fig09_dram_energy",
+            &format!("ddr4-2133 64GB energy-figure-set requests={requests} seed=1"),
+            engine_name(opts.engine),
+            &sw,
+        )
     );
     if opts.strict_validate {
         println!("[strict-validate: protocol + governor invariants enforced]");

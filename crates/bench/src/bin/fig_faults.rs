@@ -10,7 +10,7 @@
 //! `--jobs`, and the rate-0 row is byte-identical to a run with no fault
 //! injectors installed at all.
 
-use gd_bench::energy::MeasureOpts;
+use gd_bench::energy::{engine_name, parse_engine, MeasureOpts};
 use gd_bench::report::{header, row};
 use gd_bench::robustness::{robustness_experiment, RobustnessRow, FAULT_RATES};
 use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
@@ -38,10 +38,7 @@ fn parse_args() -> (Option<f64>, EngineMode) {
             }
             "--engine" => {
                 if let Some(e) = args.get(i + 1) {
-                    engine = match e.as_str() {
-                        "stepped" => EngineMode::Stepped,
-                        _ => EngineMode::EventDriven,
-                    };
+                    engine = parse_engine(e);
                     i += 1;
                 }
             }
@@ -59,10 +56,7 @@ fn main() {
     let verify = mopts.strict_validate.then_some(gd_verify::Mode::Strict);
     let (single_rate, engine) = parse_args();
     let seed_count = sw.requests.unwrap_or(3).clamp(1, 16) as u64;
-    let engine_name = match engine {
-        EngineMode::Stepped => "stepped",
-        EngineMode::EventDriven => "event-driven",
-    };
+    let engine_name = engine_name(engine);
     let rates: Vec<f64> = match single_rate {
         Some(r) => vec![r],
         None => FAULT_RATES.to_vec(),

@@ -3,7 +3,7 @@
 use gd_baselines::{
     GovernorContext, GovernorOutcome, GreenDimmGovernor, Pasr, PowerGovernor, RamZzz, SrfOnly,
 };
-use gd_dram::{LowPowerPolicy, MemorySystem, TimingChecker};
+use gd_dram::{EngineMode, EpochReplayCfg, LowPowerPolicy, MemorySystem, TimingChecker};
 use gd_power::{ActivityProfile, DramPowerModel, SystemPowerModel};
 use gd_types::config::{DramConfig, InterleaveMode};
 use gd_types::{Cycles, GdError, Result};
@@ -18,20 +18,53 @@ pub struct MeasureOpts {
     /// ([`gd_baselines::sanity`]); any violation aborts the figure.
     /// Enabled by `--strict-validate` on the figure binaries.
     pub strict_validate: bool,
+    /// Time-advance engine for the cycle-level runs. Defaults to the exact
+    /// event-driven engine; `EpochReplay` trades a bounded sampling error
+    /// for speed and is flagged in provenance headers.
+    pub engine: EngineMode,
 }
 
 impl MeasureOpts {
     /// Parses the figure binaries' shared command line: `--strict-validate`
     /// (or a `GD_STRICT_VALIDATE=1` environment) turns the verification
-    /// gate on.
+    /// gate on; `--engine stepped|event|epoch-replay` selects the
+    /// time-advance engine.
     pub fn from_args() -> Self {
-        let strict = std::env::args().skip(1).any(|a| a == "--strict-validate")
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let strict = args.iter().any(|a| a == "--strict-validate")
             || std::env::var("GD_STRICT_VALIDATE")
                 .map(|v| v == "1")
                 .unwrap_or(false);
+        let engine = args
+            .iter()
+            .position(|a| a == "--engine")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| parse_engine(v))
+            .unwrap_or_default();
         MeasureOpts {
             strict_validate: strict,
+            engine,
         }
+    }
+}
+
+/// Maps an `--engine` argument to an [`EngineMode`]; unknown values fall
+/// back to the exact event-driven default.
+pub fn parse_engine(v: &str) -> EngineMode {
+    match v {
+        "stepped" => EngineMode::Stepped,
+        "epoch-replay" => EngineMode::EpochReplay(EpochReplayCfg::default()),
+        _ => EngineMode::EventDriven,
+    }
+}
+
+/// Provenance-header name of an engine. The replay engine is suffixed
+/// `(sampled)` so any figure produced with it is visibly non-exact.
+pub fn engine_name(mode: EngineMode) -> &'static str {
+    match mode {
+        EngineMode::Stepped => "stepped",
+        EngineMode::EventDriven => "event-driven",
+        EngineMode::EpochReplay(_) => "epoch-replay(sampled)",
     }
 }
 
@@ -102,7 +135,8 @@ pub fn measure_app_tele(
     tele: Option<&mut gd_obs::Telemetry>,
 ) -> Result<AppMeasurement> {
     let cfg = cfg.with_interleave(mode);
-    let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())?;
+    let mut sys =
+        MemorySystem::new(cfg, LowPowerPolicy::srf_default())?.with_engine_mode(opts.engine);
     if opts.strict_validate {
         sys.enable_command_log();
     }
@@ -428,6 +462,7 @@ mod tests {
         let p = small_profile();
         let opts = MeasureOpts {
             strict_validate: true,
+            ..Default::default()
         };
         // Protocol replay + governor sanity both enabled: any scheduler or
         // governor defect turns this into an Err.

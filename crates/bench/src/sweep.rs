@@ -210,8 +210,9 @@ impl SweepTiming {
         out
     }
 
-    /// Writes `results/BENCH_<fig>.json` under the workspace root; prints a
-    /// warning (but does not fail the figure) if the write is impossible.
+    /// Writes `results/BENCH_<fig>.json` under the workspace root (or under
+    /// `$GD_BENCH_DIR` when set); prints a warning (but does not fail the
+    /// figure) if the write is impossible.
     pub fn write(&self) {
         let path = results_dir().join(format!("BENCH_{}.json", self.fig));
         let payload = self.to_json();
@@ -238,6 +239,13 @@ fn escape(s: &str) -> String {
 }
 
 fn results_dir() -> PathBuf {
+    // GD_BENCH_DIR redirects the timing sidecar (CI smoke runs use it so a
+    // trimmed run never overwrites the committed full-run budget).
+    if let Ok(d) = std::env::var("GD_BENCH_DIR") {
+        if !d.is_empty() {
+            return PathBuf::from(d);
+        }
+    }
     // crates/bench -> workspace root -> results/.
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

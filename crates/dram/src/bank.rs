@@ -1,57 +1,104 @@
-//! Per-bank row-buffer and timing state.
+//! Per-bank row-buffer and timing state, stored struct-of-arrays.
+//!
+//! The controller's hot loops (arbitration candidate checks, next-ready
+//! reductions) touch one or two timing fields of many banks, not every
+//! field of one bank. Keeping each field in its own flat array indexed by
+//! the global bank offset (`rank * banks_per_rank + flat_bank`) makes those
+//! reductions branch-light linear scans over contiguous memory instead of
+//! strided walks over an array-of-structs.
 
 use gd_types::config::DramTiming;
 
-/// Timing and row-buffer state of one bank (one logical bank across the
-/// rank's devices).
-#[derive(Debug, Clone, Default)]
-pub(crate) struct BankState {
-    /// Currently open full row (sub-array and local row combined), if any.
-    pub open_row: Option<u32>,
-    /// Earliest cycle an ACT may be issued to this bank.
-    pub next_act: u64,
-    /// Earliest cycle a READ may be issued to this bank.
-    pub next_read: u64,
-    /// Earliest cycle a WRITE may be issued to this bank.
-    pub next_write: u64,
-    /// Earliest cycle a PRE may be issued to this bank.
-    pub next_pre: u64,
+/// Sentinel for "no open row" in [`BankArray::open_row`]. Real full-row
+/// indices (sub-array × rows-per-sub-array + local row) are far below
+/// `u32::MAX` for any valid organization.
+pub(crate) const ROW_NONE: u32 = u32::MAX;
+
+/// Timing and row-buffer state of every bank in a channel, one flat array
+/// per field (struct-of-arrays).
+#[derive(Debug, Clone)]
+pub(crate) struct BankArray {
+    /// Currently open full row per bank, or [`ROW_NONE`].
+    pub open_row: Vec<u32>,
+    /// Earliest cycle an ACT may be issued per bank.
+    pub next_act: Vec<u64>,
+    /// Earliest cycle a READ may be issued per bank.
+    pub next_read: Vec<u64>,
+    /// Earliest cycle a WRITE may be issued per bank.
+    pub next_write: Vec<u64>,
+    /// Earliest cycle a PRE may be issued per bank.
+    pub next_pre: Vec<u64>,
 }
 
-impl BankState {
-    /// Applies the timing consequences of an ACT issued at `now`.
-    pub fn on_activate(&mut self, now: u64, row: u32, t: &DramTiming) {
-        self.open_row = Some(row);
-        self.next_read = self.next_read.max(now + t.t_rcd);
-        self.next_write = self.next_write.max(now + t.t_rcd);
-        self.next_pre = self.next_pre.max(now + t.t_ras);
-        self.next_act = self.next_act.max(now + t.t_rc);
+impl BankArray {
+    /// All banks closed, all timing gates open.
+    pub fn new(banks: usize) -> Self {
+        BankArray {
+            open_row: vec![ROW_NONE; banks],
+            next_act: vec![0; banks],
+            next_read: vec![0; banks],
+            next_write: vec![0; banks],
+            next_pre: vec![0; banks],
+        }
     }
 
-    /// Applies the timing consequences of a READ issued at `now`.
-    pub fn on_read(&mut self, now: u64, t: &DramTiming) {
+    /// Whether bank `b` has an open row.
+    pub fn is_open(&self, b: usize) -> bool {
+        self.open_row[b] != ROW_NONE
+    }
+
+    /// Applies the timing consequences of an ACT issued at `now` to bank `b`.
+    pub fn on_activate(&mut self, b: usize, now: u64, row: u32, t: &DramTiming) {
+        debug_assert_ne!(row, ROW_NONE, "row index collides with the sentinel");
+        self.open_row[b] = row;
+        self.next_read[b] = self.next_read[b].max(now + t.t_rcd);
+        self.next_write[b] = self.next_write[b].max(now + t.t_rcd);
+        self.next_pre[b] = self.next_pre[b].max(now + t.t_ras);
+        self.next_act[b] = self.next_act[b].max(now + t.t_rc);
+    }
+
+    /// Applies the timing consequences of a READ issued at `now` to bank `b`.
+    pub fn on_read(&mut self, b: usize, now: u64, t: &DramTiming) {
         // Read-to-precharge.
-        self.next_pre = self.next_pre.max(now + t.t_rtp);
+        self.next_pre[b] = self.next_pre[b].max(now + t.t_rtp);
     }
 
-    /// Applies the timing consequences of a WRITE issued at `now`.
-    pub fn on_write(&mut self, now: u64, t: &DramTiming) {
+    /// Applies the timing consequences of a WRITE issued at `now` to bank `b`.
+    pub fn on_write(&mut self, b: usize, now: u64, t: &DramTiming) {
         // Write recovery: data end (CWL + BL/2) plus tWR before precharge.
-        self.next_pre = self.next_pre.max(now + t.cwl + t.burst_cycles() + t.t_wr);
+        self.next_pre[b] = self.next_pre[b].max(now + t.cwl + t.burst_cycles() + t.t_wr);
     }
 
-    /// Applies the timing consequences of a PRE issued at `now`.
-    pub fn on_precharge(&mut self, now: u64, t: &DramTiming) {
-        self.open_row = None;
-        self.next_act = self.next_act.max(now + t.t_rp);
+    /// Applies the timing consequences of a PRE issued at `now` to bank `b`.
+    pub fn on_precharge(&mut self, b: usize, now: u64, t: &DramTiming) {
+        self.open_row[b] = ROW_NONE;
+        self.next_act[b] = self.next_act[b].max(now + t.t_rp);
     }
 
-    /// Blocks the bank until `until` (used by refresh).
-    pub fn block_until(&mut self, until: u64) {
-        self.next_act = self.next_act.max(until);
-        self.next_read = self.next_read.max(until);
-        self.next_write = self.next_write.max(until);
-        self.next_pre = self.next_pre.max(until);
+    /// Blocks bank `b` until `until` (used by refresh).
+    pub fn block_until(&mut self, b: usize, until: u64) {
+        self.next_act[b] = self.next_act[b].max(until);
+        self.next_read[b] = self.next_read[b].max(until);
+        self.next_write[b] = self.next_write[b].max(until);
+        self.next_pre[b] = self.next_pre[b].max(until);
+    }
+
+    /// Translates every absolute-cycle gate forward by `delta` (epoch-replay
+    /// fast-forward: the bank's *relative* timing state is preserved while
+    /// the clock jumps over a replayed window).
+    pub fn time_shift(&mut self, delta: u64) {
+        for v in &mut self.next_act {
+            *v += delta;
+        }
+        for v in &mut self.next_read {
+            *v += delta;
+        }
+        for v in &mut self.next_write {
+            *v += delta;
+        }
+        for v in &mut self.next_pre {
+            *v += delta;
+        }
     }
 }
 
@@ -66,42 +113,61 @@ mod tests {
     #[test]
     fn activate_opens_row_and_sets_constraints() {
         let t = timing();
-        let mut b = BankState::default();
-        b.on_activate(100, 7, &t);
-        assert_eq!(b.open_row, Some(7));
-        assert_eq!(b.next_read, 100 + t.t_rcd);
-        assert_eq!(b.next_pre, 100 + t.t_ras);
-        assert_eq!(b.next_act, 100 + t.t_rc);
+        let mut b = BankArray::new(2);
+        b.on_activate(0, 100, 7, &t);
+        assert_eq!(b.open_row[0], 7);
+        assert!(b.is_open(0));
+        assert!(!b.is_open(1));
+        assert_eq!(b.next_read[0], 100 + t.t_rcd);
+        assert_eq!(b.next_pre[0], 100 + t.t_ras);
+        assert_eq!(b.next_act[0], 100 + t.t_rc);
+        // The sibling bank's gates are untouched.
+        assert_eq!(b.next_read[1], 0);
     }
 
     #[test]
     fn precharge_closes_row() {
         let t = timing();
-        let mut b = BankState::default();
-        b.on_activate(0, 3, &t);
-        b.on_precharge(50, &t);
-        assert_eq!(b.open_row, None);
-        assert!(b.next_act >= 50 + t.t_rp);
+        let mut b = BankArray::new(1);
+        b.on_activate(0, 0, 3, &t);
+        b.on_precharge(0, 50, &t);
+        assert!(!b.is_open(0));
+        assert!(b.next_act[0] >= 50 + t.t_rp);
     }
 
     #[test]
     fn write_recovery_delays_precharge_more_than_read() {
         let t = timing();
-        let mut rd = BankState::default();
-        rd.on_activate(0, 0, &t);
-        rd.on_read(20, &t);
-        let mut wr = BankState::default();
-        wr.on_activate(0, 0, &t);
-        wr.on_write(20, &t);
-        assert!(wr.next_pre > rd.next_pre);
+        let mut banks = BankArray::new(2);
+        banks.on_activate(0, 0, 0, &t);
+        banks.on_read(0, 20, &t);
+        banks.on_activate(1, 0, 0, &t);
+        banks.on_write(1, 20, &t);
+        assert!(banks.next_pre[1] > banks.next_pre[0]);
     }
 
     #[test]
     fn block_until_is_monotone() {
-        let mut b = BankState::default();
-        b.block_until(500);
-        b.block_until(100);
-        assert_eq!(b.next_act, 500);
-        assert_eq!(b.next_read, 500);
+        let mut b = BankArray::new(1);
+        b.block_until(0, 500);
+        b.block_until(0, 100);
+        assert_eq!(b.next_act[0], 500);
+        assert_eq!(b.next_read[0], 500);
+    }
+
+    #[test]
+    fn time_shift_translates_all_gates() {
+        let t = timing();
+        let mut b = BankArray::new(2);
+        b.on_activate(1, 10, 4, &t);
+        let before = b.clone();
+        b.time_shift(1000);
+        assert_eq!(b.open_row, before.open_row, "rows unaffected by a shift");
+        for i in 0..2 {
+            assert_eq!(b.next_act[i], before.next_act[i] + 1000);
+            assert_eq!(b.next_read[i], before.next_read[i] + 1000);
+            assert_eq!(b.next_write[i], before.next_write[i] + 1000);
+            assert_eq!(b.next_pre[i], before.next_pre[i] + 1000);
+        }
     }
 }

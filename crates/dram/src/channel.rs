@@ -1,13 +1,29 @@
 //! Per-channel memory controller: FR-FCFS scheduling, refresh, low-power
 //! governor, and timing enforcement.
+//!
+//! # Scheduling structure (batched arbitration)
+//!
+//! Requests live in per-bank FIFOs ordered by a global arrival sequence
+//! number. FR-FCFS only ever needs three *candidates* per bank — the oldest
+//! row-matching read, the oldest row-matching write, and the oldest request
+//! that needs an ACT (or a conflicting PRE) — because within each class all
+//! members share the same issuability conditions, so the globally oldest
+//! issuable request is always one of the per-bank class heads. The
+//! candidates are cached and invalidated only when the bank's row state or
+//! FIFO contents change, which turns the per-poll cost from O(queue depth)
+//! into O(banks). `next_event` uses the same candidates to compute an exact
+//! earliest-action cycle, so the driving loop can jump the clock in
+//! issue-sized steps instead of `now + 1` polls (see DESIGN.md §6.2 for the
+//! decision-stability argument).
 
-use crate::bank::BankState;
+use crate::bank::{BankArray, ROW_NONE};
 use crate::command::{AccessKind, DramCommand, PendingRequest, RequestPhase};
 use crate::policy::LowPowerPolicy;
-use crate::rank::{RankCtl, RankPowerState};
+use crate::rank::{RankCtl, RankPowerState, RankResidency};
 use crate::validate::CommandRecord;
 use gd_types::config::{DramConfig, DramTiming};
 use gd_types::stats::Summary;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Event/command counters local to one channel.
 #[derive(Debug, Clone, Default)]
@@ -23,6 +39,70 @@ pub(crate) struct ChannelCounters {
     pub read_latency: Summary,
 }
 
+impl ChannelCounters {
+    /// Adds `times` copies of the delta `end − start` to the counters —
+    /// epoch replay's scaled accounting for skipped steady-state windows.
+    pub fn add_scaled_delta(&mut self, start: &ChannelCounters, end: &ChannelCounters, times: u64) {
+        self.reads += (end.reads - start.reads) * times;
+        self.writes += (end.writes - start.writes) * times;
+        self.activates += (end.activates - start.activates) * times;
+        self.precharges += (end.precharges - start.precharges) * times;
+        self.refreshes += (end.refreshes - start.refreshes) * times;
+        self.row_hits += (end.row_hits - start.row_hits) * times;
+        self.row_misses += (end.row_misses - start.row_misses) * times;
+        self.row_conflicts += (end.row_conflicts - start.row_conflicts) * times;
+        self.read_latency
+            .merge_scaled(&end.read_latency.delta_since(&start.read_latency), times);
+    }
+}
+
+///// Point-in-time accounting snapshot used by epoch replay: cumulative
+/// counters plus live residency (each rank's currently-open state interval
+/// attributed up to the mark cycle).
+#[derive(Debug, Clone)]
+pub(crate) struct ReplayMark {
+    pub counters: ChannelCounters,
+    pub ranks: Vec<RankMark>,
+}
+
+/// Per-rank slice of a [`ReplayMark`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RankMark {
+    pub residency: RankResidency,
+    pub pd_entries: u64,
+    pub sr_entries: u64,
+}
+
+/// One request inside a per-bank FIFO.
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    /// Global arrival order — the FCFS priority across all banks.
+    seq: u64,
+    req: crate::command::MemRequest,
+    /// Device-level full row (sub-array bits above local-row bits).
+    row: u32,
+    phase: RequestPhase,
+}
+
+///// Cached FR-FCFS candidates for one bank: FIFO positions of the oldest
+/// row-matching read, the oldest row-matching write, and the oldest request
+/// that needs bank progress (ACT, or PRE on a conflict). Invalidated when
+/// the bank's row state or FIFO membership changes.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankCands {
+    valid: bool,
+    col_read: Option<usize>,
+    col_write: Option<usize>,
+    act: Option<usize>,
+}
+
+/// The second-pass action selected for the globally oldest movable request.
+enum OldestAction {
+    Wake { rank: usize },
+    Precharge { bank: usize },
+    Activate { bank: usize, pos: usize },
+}
+
 /// One channel's controller state.
 #[derive(Debug)]
 pub(crate) struct ChannelCtrl {
@@ -32,8 +112,23 @@ pub(crate) struct ChannelCtrl {
     banks_per_rank: usize,
     rows_per_subarray: u32,
     ranks: Vec<RankCtl>,
-    banks: Vec<BankState>,
-    queue: Vec<PendingRequest>,
+    /// Struct-of-arrays timing state for every bank, indexed by
+    /// `rank * banks_per_rank + flat_bank`.
+    banks: BankArray,
+    /// Per-bank request FIFOs (same indexing as `banks`).
+    queues: Vec<VecDeque<QueuedReq>>,
+    /// Cached per-bank scheduling candidates (same indexing as `banks`).
+    cands: Vec<BankCands>,
+    /// Per-bank `(reads, writes)` membership count per device row. Lets the
+    /// candidate rescans stop as soon as every match that *exists* has been
+    /// found — without it, a deep FIFO with no row-buffer locality pays a
+    /// full O(depth) scan per ACT/PRE just to prove the absence of row hits
+    /// (quadratic over a traffic-dense trace).
+    row_members: Vec<BTreeMap<u32, (u32, u32)>>,
+    /// Total queued requests across all banks.
+    total_queued: usize,
+    /// Next global arrival sequence number.
+    next_seq: u64,
     /// Queued-request count per rank; keeps `queue_has_rank` O(1) (it is
     /// consulted per rank by the governor and `next_event` on every poll).
     queued_per_rank: Vec<u32>,
@@ -69,6 +164,7 @@ impl ChannelCtrl {
                 RankCtl::new(org.bank_groups, offset)
             })
             .collect();
+        let total_banks = ranks_n * banks_per_rank;
         ChannelCtrl {
             timing,
             bank_groups: org.bank_groups as usize,
@@ -76,8 +172,18 @@ impl ChannelCtrl {
             banks_per_rank,
             rows_per_subarray: org.rows_per_subarray,
             ranks,
-            banks: vec![BankState::default(); ranks_n * banks_per_rank],
-            queue: Vec::new(),
+            banks: BankArray::new(total_banks),
+            queues: vec![VecDeque::new(); total_banks],
+            row_members: vec![BTreeMap::new(); total_banks],
+            cands: vec![
+                BankCands {
+                    valid: true,
+                    ..BankCands::default()
+                };
+                total_banks
+            ],
+            total_queued: 0,
+            next_seq: 0,
             queued_per_rank: vec![0; ranks_n],
             bus_free_at: 0,
             next_col_any: 0,
@@ -145,24 +251,63 @@ impl ChannelCtrl {
         rank * self.bank_groups + bg
     }
 
+    /// Bank group of a global bank index.
+    fn bg_of(&self, b: usize) -> usize {
+        (b % self.banks_per_rank) / self.banks_per_group
+    }
+
     /// Adds a request to the scheduling queue.
-    pub fn enqueue(&mut self, mut pending: PendingRequest, now: u64) {
-        let rank = pending.coord.rank.index();
-        self.ranks[rank].idle_since = now;
-        self.queued_per_rank[rank] += 1;
-        pending.enqueued_at = now;
-        pending.phase = RequestPhase::NeedsActivate;
-        self.queue.push(pending);
+    pub fn enqueue(&mut self, pending: PendingRequest, now: u64) {
+        let ri = pending.coord.rank.index();
+        self.ranks[ri].idle_since = now;
+        self.queued_per_rank[ri] += 1;
+        self.total_queued += 1;
+        let b = self.bank_idx(
+            ri,
+            pending.coord.bank_group.index(),
+            pending.coord.bank.index(),
+        );
+        let q = QueuedReq {
+            seq: self.next_seq,
+            req: pending.req,
+            row: pending.coord.full_row(self.rows_per_subarray),
+            phase: RequestPhase::NeedsActivate,
+        };
+        self.next_seq += 1;
+        let pos = self.queues[b].len();
+        self.queues[b].push_back(q);
+        let counts = self.row_members[b].entry(q.row).or_insert((0, 0));
+        match q.req.kind {
+            AccessKind::Read => counts.0 += 1,
+            AccessKind::Write => counts.1 += 1,
+        }
+        // Incremental candidate maintenance: a new tail entry can only fill
+        // a candidate slot that is still empty.
+        let open = self.banks.open_row[b];
+        let c = &mut self.cands[b];
+        if c.valid {
+            if open != ROW_NONE && q.row == open {
+                let slot = match q.req.kind {
+                    AccessKind::Read => &mut c.col_read,
+                    AccessKind::Write => &mut c.col_write,
+                };
+                if slot.is_none() {
+                    *slot = Some(pos);
+                }
+            } else if c.act.is_none() {
+                c.act = Some(pos);
+            }
+        }
     }
 
     /// True while requests remain queued.
     pub fn busy(&self) -> bool {
-        !self.queue.is_empty()
+        self.total_queued > 0
     }
 
     /// Current queue depth (exported as a telemetry gauge).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.total_queued
     }
 
     fn queue_has_rank(&self, rank: usize) -> bool {
@@ -172,6 +317,50 @@ impl ChannelCtrl {
     fn refresh_due(&self, rank: usize, now: u64) -> bool {
         let r = &self.ranks[rank];
         r.power != RankPowerState::SelfRefresh && r.wake_at.is_none() && now >= r.next_refresh
+    }
+
+    /// Recomputes bank `b`'s candidate positions from its FIFO. All three
+    /// candidates are "first in FIFO order matching the class", so one
+    /// forward scan with early exit suffices.
+    fn ensure_cands(&mut self, b: usize) {
+        if self.cands[b].valid {
+            return;
+        }
+        let open = self.banks.open_row[b];
+        // The membership counts say which matches exist at all, so the scan
+        // stops at the last one that does instead of running to the end of
+        // the FIFO to prove a negative.
+        let (need_read, need_write) = if open == ROW_NONE {
+            (false, false)
+        } else {
+            self.row_members[b]
+                .get(&open)
+                .map_or((false, false), |&(r, w)| (r > 0, w > 0))
+        };
+        let mut c = BankCands {
+            valid: true,
+            ..BankCands::default()
+        };
+        for (i, q) in self.queues[b].iter().enumerate() {
+            if open != ROW_NONE && q.row == open {
+                let slot = match q.req.kind {
+                    AccessKind::Read => &mut c.col_read,
+                    AccessKind::Write => &mut c.col_write,
+                };
+                if slot.is_none() {
+                    *slot = Some(i);
+                }
+            } else if q.phase == RequestPhase::NeedsActivate && c.act.is_none() {
+                c.act = Some(i);
+            }
+            let done = c.act.is_some()
+                && (!need_read || c.col_read.is_some())
+                && (!need_write || c.col_write.is_some());
+            if done {
+                break;
+            }
+        }
+        self.cands[b] = c;
     }
 
     /// Attempts to issue one command at cycle `now`. Returns `true` if a
@@ -240,8 +429,8 @@ impl ChannelCtrl {
                 // Close one open bank whose tRAS/tRTP/tWR window allows it.
                 for bi in 0..self.banks_per_rank {
                     let idx = ri * self.banks_per_rank + bi;
-                    if self.banks[idx].open_row.is_some() && now >= self.banks[idx].next_pre {
-                        self.banks[idx].on_precharge(now, &self.timing);
+                    if self.banks.is_open(idx) && now >= self.banks.next_pre[idx] {
+                        self.banks.on_precharge(idx, now, &self.timing);
                         self.ranks[ri].on_precharge_bank();
                         self.counters.precharges += 1;
                         self.record(
@@ -254,13 +443,10 @@ impl ChannelCtrl {
                         );
                         // Any queued request that had this row open must
                         // re-activate.
-                        for p in &mut self.queue {
-                            if p.coord.rank.index() == ri
-                                && p.coord.flat_bank(self.banks_per_group as u32) == bi
-                            {
-                                p.phase = RequestPhase::NeedsActivate;
-                            }
+                        for q in self.queues[idx].iter_mut() {
+                            q.phase = RequestPhase::NeedsActivate;
                         }
+                        self.cands[idx].valid = false;
                         return true;
                     }
                 }
@@ -269,8 +455,8 @@ impl ChannelCtrl {
             if now >= self.ranks[ri].refresh_until {
                 let until = now + self.timing.t_rfc;
                 let base = ri * self.banks_per_rank;
-                for bank in self.banks.iter_mut().skip(base).take(self.banks_per_rank) {
-                    bank.block_until(until);
+                for idx in base..base + self.banks_per_rank {
+                    self.banks.block_until(idx, until);
                 }
                 let rank = &mut self.ranks[ri];
                 rank.refresh_until = until;
@@ -283,69 +469,104 @@ impl ChannelCtrl {
         false
     }
 
-    fn full_row(&self, p: &PendingRequest) -> u32 {
-        p.coord.full_row(self.rows_per_subarray)
-    }
-
     fn rank_ready(&self, rank: usize) -> bool {
         let r = &self.ranks[rank];
         !r.power.is_low_power() && r.wake_at.is_none()
     }
 
-    fn column_issue_time(&self, p: &PendingRequest) -> u64 {
-        let ri = p.coord.rank.index();
-        let bg = p.coord.bank_group.index();
-        let bidx = self.bank_idx(ri, bg, p.coord.bank.index());
-        let bank = &self.banks[bidx];
-        let rank = &self.ranks[ri];
+    /// Earliest cycle a column command of `kind` can issue to bank `b`
+    /// (tCCD, bank tRCD, rank bus turnaround, data-bus occupancy).
+    fn column_time(&self, ri: usize, bg: usize, b: usize, kind: AccessKind) -> u64 {
         let t = &self.timing;
+        let rank = &self.ranks[ri];
         let col = self
             .next_col_any
             .max(self.next_col_bg[self.col_bg_idx(ri, bg)]);
-        match p.req.kind {
+        match kind {
             AccessKind::Read => col
-                .max(bank.next_read)
+                .max(self.banks.next_read[b])
                 .max(rank.next_read)
                 .max(self.bus_free_at.saturating_sub(t.cl)),
             AccessKind::Write => col
-                .max(bank.next_write)
+                .max(self.banks.next_write[b])
                 .max(rank.next_write)
                 .max(self.bus_free_at.saturating_sub(t.cwl)),
         }
     }
 
-    fn can_issue_column(&self, p: &PendingRequest, now: u64) -> bool {
-        let ri = p.coord.rank.index();
-        if !self.rank_ready(ri) {
-            return false;
-        }
-        let bidx = self.bank_idx(ri, p.coord.bank_group.index(), p.coord.bank.index());
-        if self.banks[bidx].open_row != Some(self.full_row(p)) {
-            return false;
-        }
-        now >= self.column_issue_time(p)
-    }
-
-    fn issue_column_at(&mut self, qi: usize, now: u64) {
-        let p = self.queue.remove(qi);
-        let ri = p.coord.rank.index();
+    fn issue_column_at(&mut self, b: usize, pos: usize, now: u64) {
+        let q = self.queues[b]
+            .remove(pos)
+            .expect("candidate position is in range");
+        let ri = b / self.banks_per_rank;
+        let flat = b % self.banks_per_rank;
+        let bg = flat / self.banks_per_group;
         self.queued_per_rank[ri] -= 1;
-        let bg = p.coord.bank_group.index();
-        let bidx = self.bank_idx(ri, bg, p.coord.bank.index());
+        self.total_queued -= 1;
+        let remaining = {
+            let counts = self
+                .row_members
+                .get_mut(b)
+                .expect("bank index in range")
+                .get_mut(&q.row)
+                .expect("issued request is counted");
+            match q.req.kind {
+                AccessKind::Read => counts.0 -= 1,
+                AccessKind::Write => counts.1 -= 1,
+            }
+            let rem = match q.req.kind {
+                AccessKind::Read => counts.0,
+                AccessKind::Write => counts.1,
+            };
+            if *counts == (0, 0) {
+                self.row_members[b].remove(&q.row);
+            }
+            rem
+        };
+        // Maintain cached candidates across the removal: positions past the
+        // removal point shift down by one; the removed request's own slot is
+        // rescanned forward (FIFO order is preserved, so the next same-kind
+        // match cannot sit before `pos`) — unless the membership count says
+        // no same-kind match remains at all.
+        if self.cands[b].valid {
+            let mut c = self.cands[b];
+            for p in [&mut c.col_read, &mut c.col_write, &mut c.act]
+                .into_iter()
+                .flatten()
+            {
+                if *p > pos {
+                    *p -= 1;
+                }
+            }
+            let open = self.banks.open_row[b];
+            let slot = match q.req.kind {
+                AccessKind::Read => &mut c.col_read,
+                AccessKind::Write => &mut c.col_write,
+            };
+            *slot = None;
+            if remaining > 0 {
+                for i in pos..self.queues[b].len() {
+                    let qq = self.queues[b][i];
+                    if qq.row == open && qq.req.kind == q.req.kind {
+                        *slot = Some(i);
+                        break;
+                    }
+                }
+            }
+            self.cands[b] = c;
+        }
         let t = self.timing;
         let cbg = self.col_bg_idx(ri, bg);
         self.next_col_any = now + t.t_ccd_s;
         self.next_col_bg[cbg] = now + t.t_ccd_l;
-        let flat_bank = p.coord.flat_bank(self.banks_per_group as u32);
-        let cmd = match p.req.kind {
+        let cmd = match q.req.kind {
             AccessKind::Read => DramCommand::Read,
             AccessKind::Write => DramCommand::Write,
         };
-        let row = self.full_row(&p);
-        self.record(now, ri as u32, flat_bank as u32, bg as u32, row, cmd);
-        match p.req.kind {
+        self.record(now, ri as u32, flat as u32, bg as u32, q.row, cmd);
+        match q.req.kind {
             AccessKind::Read => {
-                self.banks[bidx].on_read(now, &t);
+                self.banks.on_read(b, now, &t);
                 let data_end = now + t.cl + t.burst_cycles();
                 self.bus_free_at = data_end;
                 // Read-to-write turnaround: tRTW = CL + BL/2 + 2 - CWL.
@@ -354,10 +575,10 @@ impl ChannelCtrl {
                 self.counters.reads += 1;
                 self.counters
                     .read_latency
-                    .record((data_end - p.req.arrival) as f64);
+                    .record((data_end - q.req.arrival) as f64);
             }
             AccessKind::Write => {
-                self.banks[bidx].on_write(now, &t);
+                self.banks.on_write(b, now, &t);
                 let data_end = now + t.cwl + t.burst_cycles();
                 self.bus_free_at = data_end;
                 // Write-to-read turnaround.
@@ -365,7 +586,7 @@ impl ChannelCtrl {
                 self.counters.writes += 1;
             }
         }
-        if matches!(p.phase, RequestPhase::NeedsActivate) {
+        if matches!(q.phase, RequestPhase::NeedsActivate) {
             // Column issued without this request paying for an ACT: row hit.
             self.counters.row_hits += 1;
         }
@@ -374,106 +595,157 @@ impl ChannelCtrl {
 
     /// FR-FCFS first pass: oldest ready row-hit column command.
     fn issue_row_hit(&mut self, now: u64) -> bool {
-        for qi in 0..self.queue.len() {
-            if self.can_issue_column(&self.queue[qi], now) {
-                self.issue_column_at(qi, now);
-                return true;
+        let mut best: Option<(u64, usize, usize)> = None;
+        for b in 0..self.queues.len() {
+            if self.queues[b].is_empty() || !self.banks.is_open(b) {
+                continue;
+            }
+            let ri = b / self.banks_per_rank;
+            if !self.rank_ready(ri) {
+                continue;
+            }
+            self.ensure_cands(b);
+            let c = self.cands[b];
+            let bg = self.bg_of(b);
+            for (slot, kind) in [
+                (c.col_read, AccessKind::Read),
+                (c.col_write, AccessKind::Write),
+            ] {
+                let Some(pos) = slot else { continue };
+                if now < self.column_time(ri, bg, b, kind) {
+                    continue;
+                }
+                let seq = self.queues[b][pos].seq;
+                if best.is_none_or(|(s, _, _)| seq < s) {
+                    best = Some((seq, b, pos));
+                }
             }
         }
-        false
+        match best {
+            Some((_, b, pos)) => {
+                self.issue_column_at(b, pos, now);
+                true
+            }
+            None => false,
+        }
     }
 
     /// FR-FCFS second pass: make progress for the oldest request that can
     /// move (wake its rank, precharge a conflicting row, or activate).
     fn issue_oldest(&mut self, now: u64) -> bool {
-        for qi in 0..self.queue.len() {
-            let (ri, bg, bidx, row, kind_needs_act);
-            {
-                let p = &self.queue[qi];
-                ri = p.coord.rank.index();
-                bg = p.coord.bank_group.index();
-                bidx = self.bank_idx(ri, bg, p.coord.bank.index());
-                row = self.full_row(p);
-                kind_needs_act = matches!(p.phase, RequestPhase::NeedsActivate);
+        let mut best: Option<(u64, OldestAction)> = None;
+        for ri in 0..self.ranks.len() {
+            if self.queued_per_rank[ri] == 0 || self.ranks[ri].wake_at.is_some() {
+                continue;
             }
-            let rank_state = self.ranks[ri].power;
-            if self.ranks[ri].wake_at.is_some() {
-                continue; // waking up
-            }
-            if rank_state.is_low_power() {
+            let base = ri * self.banks_per_rank;
+            if self.ranks[ri].power.is_low_power() {
                 // Issue PDX / SRX — CKE must have been low for tCKE first.
+                // The wake is justified by the rank's oldest request, of any
+                // phase.
                 if now < self.ranks[ri].state_since + self.timing.t_cke {
                     continue;
                 }
-                let (latency, exit_cmd) = match rank_state {
-                    RankPowerState::PowerDown => (self.timing.t_xp, DramCommand::PowerDownExit),
-                    RankPowerState::SelfRefresh => (self.timing.t_xs, DramCommand::SelfRefreshExit),
-                    _ => unreachable!(),
-                };
-                self.ranks[ri].wake_at = Some(now + latency);
-                self.record(now, ri as u32, 0, 0, 0, exit_cmd);
-                return true;
+                let mut seq = u64::MAX;
+                for b in base..base + self.banks_per_rank {
+                    if let Some(front) = self.queues[b].front() {
+                        seq = seq.min(front.seq);
+                    }
+                }
+                if seq != u64::MAX && best.as_ref().is_none_or(|(s, _)| seq < *s) {
+                    best = Some((seq, OldestAction::Wake { rank: ri }));
+                }
+                continue;
             }
             if self.refresh_due(ri, now) {
                 continue; // refresh has priority on this rank
             }
-            if !kind_needs_act {
-                continue; // column handled in first pass
-            }
-            match self.banks[bidx].open_row {
-                Some(open) if open == row => {
-                    // Row became open for us (another request activated it);
-                    // the column pass will issue it and, because the phase is
-                    // still NeedsActivate, count it as a row hit.
+            for b in base..base + self.banks_per_rank {
+                if self.queues[b].is_empty() {
                     continue;
                 }
-                Some(_) => {
+                self.ensure_cands(b);
+                let Some(pos) = self.cands[b].act else {
+                    continue;
+                };
+                if self.banks.is_open(b) {
                     // Row conflict: precharge when allowed.
-                    if now >= self.banks[bidx].next_pre {
-                        self.banks[bidx].on_precharge(now, &self.timing);
-                        self.ranks[ri].on_precharge_bank();
-                        self.counters.precharges += 1;
-                        self.counters.row_conflicts += 1;
-                        self.record(
-                            now,
-                            ri as u32,
-                            (bidx - ri * self.banks_per_rank) as u32,
-                            bg as u32,
-                            0,
-                            DramCommand::Precharge,
-                        );
-                        self.ranks[ri].idle_since = now;
-                        return true;
+                    if now < self.banks.next_pre[b] {
+                        continue;
                     }
-                }
-                None => {
-                    if now >= self.banks[bidx].next_act && now >= self.ranks[ri].act_allowed_at(bg)
-                    {
-                        self.banks[bidx].on_activate(now, row, &self.timing);
-                        self.ranks[ri].on_activate(now, bg, &self.timing);
-                        if self.ranks[ri].open_banks == 1
-                            && self.ranks[ri].power == RankPowerState::PrechargeStandby
-                        {
-                            self.ranks[ri].set_power(now, RankPowerState::ActiveStandby);
-                        }
-                        self.counters.activates += 1;
-                        self.counters.row_misses += 1;
-                        self.record(
-                            now,
-                            ri as u32,
-                            (bidx - ri * self.banks_per_rank) as u32,
-                            bg as u32,
-                            row,
-                            DramCommand::Activate,
-                        );
-                        self.queue[qi].phase = RequestPhase::NeedsColumn;
-                        self.ranks[ri].idle_since = now;
-                        return true;
+                    let seq = self.queues[b][pos].seq;
+                    if best.as_ref().is_none_or(|(s, _)| seq < *s) {
+                        best = Some((seq, OldestAction::Precharge { bank: b }));
+                    }
+                } else {
+                    let bg = self.bg_of(b);
+                    if now < self.banks.next_act[b] || now < self.ranks[ri].act_allowed_at(bg) {
+                        continue;
+                    }
+                    let seq = self.queues[b][pos].seq;
+                    if best.as_ref().is_none_or(|(s, _)| seq < *s) {
+                        best = Some((seq, OldestAction::Activate { bank: b, pos }));
                     }
                 }
             }
         }
-        false
+        let Some((_, action)) = best else {
+            return false;
+        };
+        match action {
+            OldestAction::Wake { rank } => {
+                let (latency, exit_cmd) = match self.ranks[rank].power {
+                    RankPowerState::PowerDown => (self.timing.t_xp, DramCommand::PowerDownExit),
+                    RankPowerState::SelfRefresh => (self.timing.t_xs, DramCommand::SelfRefreshExit),
+                    _ => unreachable!("wake candidate on an awake rank"),
+                };
+                self.ranks[rank].wake_at = Some(now + latency);
+                self.record(now, rank as u32, 0, 0, 0, exit_cmd);
+            }
+            OldestAction::Precharge { bank } => {
+                let ri = bank / self.banks_per_rank;
+                self.banks.on_precharge(bank, now, &self.timing);
+                self.ranks[ri].on_precharge_bank();
+                self.counters.precharges += 1;
+                self.counters.row_conflicts += 1;
+                self.record(
+                    now,
+                    ri as u32,
+                    (bank % self.banks_per_rank) as u32,
+                    self.bg_of(bank) as u32,
+                    0,
+                    DramCommand::Precharge,
+                );
+                self.ranks[ri].idle_since = now;
+                self.cands[bank].valid = false;
+            }
+            OldestAction::Activate { bank, pos } => {
+                let ri = bank / self.banks_per_rank;
+                let bg = self.bg_of(bank);
+                let row = self.queues[bank][pos].row;
+                self.banks.on_activate(bank, now, row, &self.timing);
+                self.ranks[ri].on_activate(now, bg, &self.timing);
+                if self.ranks[ri].open_banks == 1
+                    && self.ranks[ri].power == RankPowerState::PrechargeStandby
+                {
+                    self.ranks[ri].set_power(now, RankPowerState::ActiveStandby);
+                }
+                self.counters.activates += 1;
+                self.counters.row_misses += 1;
+                self.record(
+                    now,
+                    ri as u32,
+                    (bank % self.banks_per_rank) as u32,
+                    bg as u32,
+                    row,
+                    DramCommand::Activate,
+                );
+                self.queues[bank][pos].phase = RequestPhase::NeedsColumn;
+                self.ranks[ri].idle_since = now;
+                self.cands[bank].valid = false;
+            }
+        }
+        true
     }
 
     /// Idle-timeout governor: demote idle, fully-precharged ranks.
@@ -530,20 +802,34 @@ impl ChannelCtrl {
     /// Earliest future cycle at which this channel could do something.
     /// Returns `u64::MAX` when nothing is outstanding (other than
     /// self-refresh bookkeeping, which needs no controller action).
-    pub fn next_event(&self, now: u64) -> u64 {
+    ///
+    /// The estimate may be conservative (an extra poll that issues nothing
+    /// is harmless) but must never overshoot a cycle on which `try_issue`
+    /// would act — that is the invariant the engine-equivalence suite pins
+    /// down. It is exact for the common cases: the per-bank candidate gates
+    /// reuse the same `column_time`/tRP/tRRD/tFAW arithmetic the issue
+    /// passes check, so after a successful issue the driving loop can jump
+    /// straight to the next legal issue cycle.
+    pub fn next_event(&mut self, now: u64) -> u64 {
         let mut t = u64::MAX;
         for (ri, rank) in self.ranks.iter().enumerate() {
             if let Some(w) = rank.wake_at {
                 t = t.min(w);
             }
             if rank.power != RankPowerState::SelfRefresh {
-                t = t.min(rank.next_refresh.max(now + 1));
+                // A power-down rank cannot begin its refresh wake-up before
+                // CKE has been low for tCKE.
+                let mut refr = rank.next_refresh;
+                if rank.power == RankPowerState::PowerDown {
+                    refr = refr.max(rank.state_since + self.timing.t_cke);
+                }
+                t = t.min(refr.max(now + 1));
                 if rank.refresh_until > now {
                     t = t.min(rank.refresh_until);
                 }
             }
             // Governor deadlines.
-            if rank.wake_at.is_none() && rank.all_precharged() && !self.queue_has_rank(ri) {
+            if rank.wake_at.is_none() && rank.all_precharged() && self.queued_per_rank[ri] == 0 {
                 let base = rank.idle_since;
                 match rank.power {
                     RankPowerState::PrechargeStandby => {
@@ -559,38 +845,67 @@ impl ChannelCtrl {
                             t = t.min((base + srt).max(now + 1));
                         }
                     }
-                    _ => {}
+                    RankPowerState::ActiveStandby => {
+                        // The governor's ActiveStandby → PrechargeStandby
+                        // bookkeeping transition is untimed: it fires on the
+                        // next poll once the rank is fully precharged and
+                        // has no queued work, so the next poll must come at
+                        // now + 1 for residency to match the stepped engine.
+                        t = t.min(now + 1);
+                    }
+                    RankPowerState::SelfRefresh => {}
                 }
             }
         }
-        for p in &self.queue {
-            t = t.min(self.request_ready_estimate(p, now).max(now + 1));
+        for b in 0..self.queues.len() {
+            if self.queues[b].is_empty() {
+                continue;
+            }
+            let ri = b / self.banks_per_rank;
+            if let Some(w) = self.ranks[ri].wake_at {
+                t = t.min(w.max(now + 1));
+                continue;
+            }
+            if self.ranks[ri].power.is_low_power() {
+                // A demand wake-up can be issued once CKE has been low tCKE.
+                t = t.min((self.ranks[ri].state_since + self.timing.t_cke).max(now + 1));
+                continue;
+            }
+            if self.ranks[ri].refresh_until > now {
+                t = t.min(self.ranks[ri].refresh_until);
+                continue;
+            }
+            self.ensure_cands(b);
+            let c = self.cands[b];
+            let bg = self.bg_of(b);
+            if self.banks.is_open(b) {
+                for (slot, kind) in [
+                    (c.col_read, AccessKind::Read),
+                    (c.col_write, AccessKind::Write),
+                ] {
+                    if slot.is_some() {
+                        t = t.min(self.column_time(ri, bg, b, kind).max(now + 1));
+                    }
+                }
+                if c.act.is_some() {
+                    t = t.min(self.banks.next_pre[b].max(now + 1));
+                }
+            } else if c.act.is_some() {
+                let gate = self.banks.next_act[b].max(self.ranks[ri].act_allowed_at(bg));
+                t = t.min(gate.max(now + 1));
+            }
         }
         t
     }
 
-    fn request_ready_estimate(&self, p: &PendingRequest, now: u64) -> u64 {
-        let ri = p.coord.rank.index();
-        let rank = &self.ranks[ri];
-        if let Some(w) = rank.wake_at {
-            return w;
-        }
-        if rank.power.is_low_power() {
-            return now + 1; // wake can be issued immediately
-        }
-        if rank.refresh_until > now {
-            return rank.refresh_until;
-        }
-        let bidx = self.bank_idx(ri, p.coord.bank_group.index(), p.coord.bank.index());
-        let bank = &self.banks[bidx];
-        let row = self.full_row(p);
-        match bank.open_row {
-            Some(open) if open == row => self.column_issue_time(p),
-            Some(_) => bank.next_pre,
-            None => bank
-                .next_act
-                .max(rank.act_allowed_at(p.coord.bank_group.index())),
-        }
+    /// The audited clock-advance step shared by every driving loop: the
+    /// next cycle at which this channel should be polled — strictly after
+    /// `now`, clamped to `cap` (a trace horizon or the next arrival).
+    /// Centralizing the `.max(now + 1).min(cap)` dance keeps all callers on
+    /// the invariant `next_event` guarantees: polling early is harmless,
+    /// skipping an action cycle breaks engine equivalence.
+    pub fn next_poll(&mut self, now: u64, cap: u64) -> u64 {
+        self.next_event(now).max(now + 1).min(cap.max(now + 1))
     }
 
     /// Finalizes residency accounting.
@@ -601,7 +916,7 @@ impl ChannelCtrl {
     }
 
     /// Per-rank residency snapshots.
-    pub fn residencies(&self) -> Vec<crate::rank::RankResidency> {
+    pub fn residencies(&self) -> Vec<RankResidency> {
         self.ranks.iter().map(|r| r.residency).collect()
     }
 
@@ -610,6 +925,67 @@ impl ChannelCtrl {
         let pd = self.ranks.iter().map(|r| r.pd_entries).sum();
         let sr = self.ranks.iter().map(|r| r.sr_entries).sum();
         (pd, sr)
+    }
+
+    /// Accounting snapshot at cycle `now` for epoch replay. Residency
+    /// includes each rank's currently-open state interval so that the delta
+    /// of two marks one epoch apart sums to exactly the epoch length.
+    pub fn replay_mark(&self, now: u64) -> ReplayMark {
+        ReplayMark {
+            counters: self.counters.clone(),
+            ranks: self
+                .ranks
+                .iter()
+                .map(|r| {
+                    let mut residency = r.residency;
+                    residency.add_state(r.power, now.saturating_sub(r.state_since));
+                    RankMark {
+                        residency,
+                        pd_entries: r.pd_entries,
+                        sr_entries: r.sr_entries,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds `times` copies of the accounting delta between two marks
+    /// (epoch replay's scaled bookkeeping for skipped windows).
+    pub fn apply_replay_delta(&mut self, start: &ReplayMark, end: &ReplayMark, times: u64) {
+        self.counters
+            .add_scaled_delta(&start.counters, &end.counters, times);
+        for (r, (s, e)) in self
+            .ranks
+            .iter_mut()
+            .zip(start.ranks.iter().zip(end.ranks.iter()))
+        {
+            r.residency
+                .merge_scaled_delta(&s.residency, &e.residency, times);
+            r.pd_entries += (e.pd_entries - s.pd_entries) * times;
+            r.sr_entries += (e.sr_entries - s.sr_entries) * times;
+        }
+    }
+
+    /// Translates every absolute-cycle gate and stamp forward by `delta`
+    /// (epoch-replay fast-forward). Relative timing state — and therefore
+    /// every future scheduling decision — is preserved exactly; queued
+    /// requests' arrival stamps shift too so their eventual latency excludes
+    /// the skipped window.
+    pub fn time_shift(&mut self, delta: u64) {
+        self.bus_free_at += delta;
+        self.next_col_any += delta;
+        for v in &mut self.next_col_bg {
+            *v += delta;
+        }
+        self.banks.time_shift(delta);
+        for r in &mut self.ranks {
+            r.time_shift(delta);
+        }
+        for q in &mut self.queues {
+            for req in q.iter_mut() {
+                req.req.arrival += delta;
+            }
+        }
     }
 }
 
@@ -632,8 +1008,6 @@ mod tests {
         PendingRequest {
             coord: mapper.decode(req.addr).unwrap(),
             req,
-            enqueued_at: req.arrival,
-            phase: RequestPhase::NeedsActivate,
         }
     }
 
@@ -643,7 +1017,7 @@ mod tests {
         let mut guard = 0;
         while ch.busy() {
             if !ch.try_issue(now) {
-                now = ch.next_event(now).max(now + 1);
+                now = ch.next_poll(now, u64::MAX);
             } else {
                 now += 1;
             }
@@ -730,7 +1104,7 @@ mod tests {
         let mut now = end;
         for _ in 0..200 {
             if !ch.try_issue(now) {
-                now = ch.next_event(now).max(now + 1).min(horizon);
+                now = ch.next_poll(now, horizon);
             } else {
                 now += 1;
             }
@@ -769,7 +1143,7 @@ mod tests {
                 next_req = now + 50;
             }
             if !ch.try_issue(now) {
-                now = ch.next_event(now).max(now + 1).min(next_req.max(now + 1));
+                now = ch.next_poll(now, next_req);
             } else {
                 now += 1;
             }
@@ -793,7 +1167,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..50 {
             if !ch.try_issue(now) {
-                now = ch.next_event(now).max(now + 1).min(5_000);
+                now = ch.next_poll(now, 5_000);
             } else {
                 now += 1;
             }
@@ -813,6 +1187,47 @@ mod tests {
             lat >= (t.t_xs + t.t_rcd + t.cl) as f64,
             "latency {lat} must include tXS {}",
             t.t_xs
+        );
+    }
+
+    #[test]
+    fn next_poll_advances_and_clamps() {
+        let (mut ch, mapper) = make(LowPowerPolicy::disabled());
+        // Idle channel: next event is the first refresh, far in the future.
+        let far = ch.next_poll(0, u64::MAX);
+        assert!(far > 1, "idle channel should jump past now + 1");
+        assert_eq!(ch.next_poll(0, 10), 10, "cap clamps the jump");
+        // A queued request pulls attention close even with a tiny cap.
+        ch.enqueue(pend(&mapper, MemRequest::read(0, 0)), 0);
+        let soon = ch.next_poll(0, u64::MAX);
+        assert!(soon <= far);
+        // The cap never stalls the clock: result is strictly after `now`.
+        assert_eq!(ch.next_poll(5, 0), 6);
+    }
+
+    #[test]
+    fn time_shift_preserves_drain_schedule_shape() {
+        // Two identical channels; one is shifted by a constant before the
+        // (identical) work arrives. Command counts must match and the
+        // shifted channel's latencies must equal the unshifted ones.
+        let (mut a, mapper) = make(LowPowerPolicy::disabled());
+        let (mut b, _) = make(LowPowerPolicy::disabled());
+        const SHIFT: u64 = 100_000;
+        b.time_shift(SHIFT);
+        for i in 0..8u64 {
+            let addr = i * 64;
+            a.enqueue(pend(&mapper, MemRequest::read(addr, 0)), 0);
+            b.enqueue(pend(&mapper, MemRequest::read(addr, SHIFT)), SHIFT);
+        }
+        drain(&mut a, 0);
+        drain(&mut b, SHIFT);
+        assert_eq!(a.counters.reads, b.counters.reads);
+        assert_eq!(a.counters.activates, b.counters.activates);
+        assert_eq!(a.counters.row_hits, b.counters.row_hits);
+        assert_eq!(
+            a.counters.read_latency.mean(),
+            b.counters.read_latency.mean(),
+            "latency must be shift-invariant"
         );
     }
 }

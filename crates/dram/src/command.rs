@@ -108,19 +108,16 @@ impl MemRequest {
     }
 }
 
-/// A request in flight inside the controller, with its decoded coordinates
-/// and progress state.
-#[derive(Debug, Clone)]
+/// A request presented to a channel controller, with its decoded
+/// coordinates. The controller re-derives everything else (FIFO position,
+/// progress phase) internally.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct PendingRequest {
     pub req: MemRequest,
     pub coord: DramCoord,
-    /// Cycle the request entered the controller queue.
-    pub enqueued_at: u64,
-    /// Progress through the ACT → column-command sequence.
-    pub phase: RequestPhase,
 }
 
-/// Progress of a pending request.
+/// Progress of a queued request through the ACT → column-command sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RequestPhase {
     /// Needs its row activated (row miss, or bank closed).

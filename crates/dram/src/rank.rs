@@ -80,7 +80,7 @@ impl RankResidency {
         }
     }
 
-    fn add(&mut self, state: RankPowerState, cycles: u64) {
+    pub(crate) fn add_state(&mut self, state: RankPowerState, cycles: u64) {
         match state {
             RankPowerState::ActiveStandby => self.active_standby += cycles,
             RankPowerState::PrechargeStandby => self.precharge_standby += cycles,
@@ -95,6 +95,18 @@ impl RankResidency {
         self.precharge_standby += other.precharge_standby;
         self.power_down += other.power_down;
         self.self_refresh += other.self_refresh;
+    }
+
+    /// Adds `times` copies of the element-wise delta `end − start` between
+    /// two cumulative snapshots — epoch replay's scaled residency
+    /// accounting. When the two marks lie exactly one epoch apart, the
+    /// delta sums to the epoch length, so the residency-sums-to-elapsed
+    /// invariant survives the fast-forward exactly.
+    pub fn merge_scaled_delta(&mut self, start: &RankResidency, end: &RankResidency, times: u64) {
+        self.active_standby += (end.active_standby - start.active_standby) * times;
+        self.precharge_standby += (end.precharge_standby - start.precharge_standby) * times;
+        self.power_down += (end.power_down - start.power_down) * times;
+        self.self_refresh += (end.self_refresh - start.self_refresh) * times;
     }
 }
 
@@ -159,7 +171,7 @@ impl RankCtl {
     /// being left.
     pub fn set_power(&mut self, now: u64, state: RankPowerState) {
         debug_assert!(now >= self.state_since, "time went backwards");
-        self.residency.add(self.power, now - self.state_since);
+        self.residency.add_state(self.power, now - self.state_since);
         self.power = state;
         self.state_since = now;
         match state {
@@ -172,7 +184,7 @@ impl RankCtl {
     /// Finalizes residency accounting at the end of a run.
     pub fn finish(&mut self, now: u64) {
         self.residency
-            .add(self.power, now.saturating_sub(self.state_since));
+            .add_state(self.power, now.saturating_sub(self.state_since));
         self.state_since = now;
     }
 
@@ -211,6 +223,30 @@ impl RankCtl {
     /// True if the rank is fully precharged (required for REF, PDE, SRE).
     pub fn all_precharged(&self) -> bool {
         self.open_banks == 0
+    }
+
+    /// Translates every absolute-cycle stamp forward by `delta`
+    /// (epoch-replay fast-forward). Shifting `state_since` leaves the
+    /// currently-open residency interval pending — the skipped window's
+    /// residency is added separately from the representative-epoch delta,
+    /// so total residency plus the pending interval still equals the clock.
+    pub fn time_shift(&mut self, delta: u64) {
+        self.state_since += delta;
+        if let Some(w) = &mut self.wake_at {
+            *w += delta;
+        }
+        self.next_refresh += delta;
+        self.refresh_until += delta;
+        self.next_act_any += delta;
+        for v in &mut self.next_act_bg {
+            *v += delta;
+        }
+        for v in &mut self.act_window {
+            *v += delta;
+        }
+        self.next_read += delta;
+        self.next_write += delta;
+        self.idle_since += delta;
     }
 }
 

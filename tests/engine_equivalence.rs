@@ -14,7 +14,7 @@
 use greendimm_suite::bench::sweep;
 use greendimm_suite::bench::telemetry::render_shards;
 use greendimm_suite::dram::{
-    AddressMapper, EngineMode, LowPowerPolicy, MemRequest, MemorySystem, RunStats,
+    AddressMapper, EngineMode, EpochReplayCfg, LowPowerPolicy, MemRequest, MemorySystem, RunStats,
 };
 use greendimm_suite::obs::Telemetry;
 use greendimm_suite::types::config::{DramConfig, InterleaveMode};
@@ -291,6 +291,135 @@ fn rate_zero_equals_no_injector_run() {
         b_tele.unwrap().render_jsonl("p"),
         "inactive injectors changed the telemetry bytes"
     );
+}
+
+/// Deep power-down group transitions *between traffic phases*, on a system
+/// whose wake latencies are stretched 4× (the WakeStretch worst case): the
+/// batched arbitration must stay bit-identical to the stepped reference
+/// while ranks cycle through stretched PDX/SRX wakes and the group register
+/// flips mid-run.
+#[test]
+fn deep_pd_transitions_mid_traffic_equivalent() {
+    let cfg = DramConfig::small_test();
+    let run = |engine: EngineMode| {
+        let mut sys = MemorySystem::with_wake_stretch(cfg, LowPowerPolicy::aggressive(), 4)
+            .unwrap()
+            .with_engine_mode(engine);
+        // Phase 1: sparse traffic over a 32 KiB footprint (groups stay low).
+        let t1: Vec<_> = (0..300u64)
+            .map(|i| MemRequest::read((i * 64 * 7) % 32_768, i * 900))
+            .collect();
+        sys.run_trace(t1).unwrap();
+        // Off-line two high groups mid-run, keep serving low addresses.
+        for g in [5u32, 6] {
+            sys.set_group_deep_pd(SubArrayGroup::new(g), true).unwrap();
+        }
+        let base = sys.clock();
+        let t2: Vec<_> = (0..300u64)
+            .map(|i| MemRequest::write((i * 64 * 3) % 32_768, base + i * 1100))
+            .collect();
+        sys.run_trace(t2).unwrap();
+        // Back on-line, then one more burst.
+        for g in [5u32, 6] {
+            sys.set_group_deep_pd(SubArrayGroup::new(g), false).unwrap();
+        }
+        let base = sys.clock();
+        let t3: Vec<_> = (0..200u64)
+            .map(|i| MemRequest::read((i * 64 * 11) % 32_768, base + i * 40))
+            .collect();
+        sys.run_trace(t3).unwrap()
+    };
+    let a = run(EngineMode::Stepped);
+    let b = run(EngineMode::EventDriven);
+    assert!(
+        a.pd_entries + a.sr_entries > 0,
+        "low-power states must cycle"
+    );
+    assert_eq!(a, b, "deep-PD mid-traffic run diverged between engines");
+}
+
+/// An *armed, deterministic* fault plan (WakeStretch on the DRAM probe plus
+/// periodic MrsAckDelay on the daemon's MRS writes) across both engines:
+/// rows and telemetry must stay byte-identical — deterministic triggers
+/// leave no room for the engines' different poll schedules to observe
+/// different fault streams.
+#[test]
+fn armed_fault_plan_equivalent_across_engines() {
+    use greendimm_suite::bench::robustness::robustness_experiment_with_plan;
+    use greendimm_suite::faults::{FaultPlan, FaultSite, FaultTrigger};
+    let profile = by_name("mcf").unwrap();
+    let plan = FaultPlan::none()
+        .with(FaultSite::WakeStretch, FaultTrigger::EveryNth(1))
+        .with(FaultSite::MrsAckDelay, FaultTrigger::EveryNth(3));
+    let run = |engine: EngineMode| {
+        robustness_experiment_with_plan(&profile, Some(&plan), 0.0, engine, 31, None, true).unwrap()
+    };
+    let (a_row, a_tele) = run(EngineMode::Stepped);
+    let (b_row, b_tele) = run(EngineMode::EventDriven);
+    assert!(a_row.faults_injected > 0, "the armed plan must bite");
+    assert_eq!(a_row, b_row, "armed-plan rows diverged between engines");
+    assert_eq!(
+        a_tele.unwrap().render_jsonl("p"),
+        b_tele.unwrap().render_jsonl("p"),
+        "armed-plan telemetry diverged between engines"
+    );
+}
+
+/// The sampled epoch-replay engine on steady periodic traffic: replay must
+/// actually engage (epochs skipped), keep every rank's residency summing to
+/// the clock (no cycles invented or lost), and land within the configured
+/// tolerance of the exact event-driven run on every major counter.
+#[test]
+fn epoch_replay_engages_and_error_is_bounded() {
+    let cfg = DramConfig::small_test();
+    // Steady state: one read every 10 cycles round-robining over 8 rows.
+    let trace: Vec<_> = (0..20_000u64)
+        .map(|i| MemRequest::read((i % 8) * 8192, i * 10))
+        .collect();
+    let mut exact_sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())
+        .unwrap()
+        .with_engine_mode(EngineMode::EventDriven);
+    let exact = exact_sys.run_trace(trace.clone()).unwrap();
+    // One tREFI per epoch: refresh-aligned (like the 4x-tREFI auto epoch)
+    // but short enough that the 200k-cycle trace spans ~24 epochs.
+    let epoch = cfg.timing.t_refi;
+    let rcfg = EpochReplayCfg {
+        epoch_cycles: epoch,
+        stable_epochs: 3,
+        tolerance_millis: 50,
+    };
+    let mut replay_sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())
+        .unwrap()
+        .with_engine_mode(EngineMode::EpochReplay(rcfg));
+    let sampled = replay_sys.run_trace(trace).unwrap();
+
+    assert!(
+        sampled.replayed_epochs > 0,
+        "steady traffic must trigger replay"
+    );
+    assert_eq!(sampled.replayed_cycles, sampled.replayed_epochs * epoch);
+    assert_eq!(exact.replayed_cycles, 0, "exact engines never sample");
+    for (ri, r) in sampled.rank_residency.iter().enumerate() {
+        assert_eq!(
+            r.total(),
+            sampled.cycles,
+            "rank {ri} residency must sum to the clock after fast-forward"
+        );
+    }
+    // Bounded error: every major counter within 10 % of the exact run
+    // (2× the 5 % signature tolerance, covering boundary effects).
+    let within = |a: u64, b: u64, what: &str| {
+        let hi = a.max(b) as f64;
+        assert!(
+            a.abs_diff(b) as f64 <= hi * 0.10 + 2.0,
+            "{what} drifted past the bound: sampled {a} vs exact {b}"
+        );
+    };
+    within(sampled.reads, exact.reads, "reads");
+    within(sampled.cycles, exact.cycles, "cycles");
+    within(sampled.activates, exact.activates, "activates");
+    within(sampled.refreshes, exact.refreshes, "refreshes");
+    within(sampled.row_hits, exact.row_hits, "row_hits");
 }
 
 /// Merged telemetry shards from the sweep pool must be byte-identical for

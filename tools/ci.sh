@@ -49,6 +49,11 @@ diff -u results/fig05_addrmap.txt /tmp/fig05_addrmap.ci.txt || {
 }
 rm -f /tmp/fig05_addrmap.ci.txt
 
+# Smoke runs below redirect the timing sidecar (GD_BENCH_DIR) so trimmed
+# configs never overwrite the committed full-run budgets in results/.
+export GD_BENCH_DIR=/tmp/gd_bench.ci
+rm -rf "$GD_BENCH_DIR"
+
 echo "==> sweep smoke (fig03, --jobs 2, trimmed request count)"
 cargo run --quiet --release -p gd-bench --bin fig03_interleaving -- --jobs 2 --requests 6000 \
   > /dev/null
@@ -91,5 +96,25 @@ diff -u <(tail -n +2 /tmp/fig_faults.st.ci.txt) <(tail -n +2 /tmp/fig_faults.ev.
   exit 1
 }
 rm -f /tmp/fig_faults.{j1,j4,st,ev}.ci.txt
+
+echo "==> perf budget (fig03 full serial regeneration vs committed sidecar; soft gate)"
+# Re-runs the exact pinned config of the committed results/BENCH_*.json
+# (serial, default request count) with the sidecar redirected, then compares
+# wall clocks. A regression past 2x the committed budget WARNS but does not
+# fail: wall time is machine-dependent, and the committed values are the
+# performance trajectory, not a hard SLA.
+cargo run --quiet --release -p gd-bench --bin fig03_interleaving -- --jobs 1 > /dev/null
+budget=$(grep -o '"total_s": [0-9.]*' results/BENCH_fig03_interleaving.json | awk '{print $2}')
+actual=$(grep -o '"total_s": [0-9.]*' "$GD_BENCH_DIR"/BENCH_fig03_interleaving.json | awk '{print $2}')
+awk -v a="$actual" -v b="$budget" 'BEGIN {
+  if (b <= 0) { print "WARNING: committed fig03 budget sidecar is missing or zero"; exit }
+  if (a > 2 * b) {
+    printf "WARNING: fig03 serial regeneration took %.2fs, over 2x the committed budget of %.2fs\n", a, b
+  } else {
+    printf "fig03 serial regeneration: %.2fs (committed budget %.2fs, soft limit 2x)\n", a, b
+  }
+}'
+rm -rf "$GD_BENCH_DIR"
+unset GD_BENCH_DIR
 
 echo "==> all checks passed"
