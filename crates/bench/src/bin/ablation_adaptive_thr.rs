@@ -6,18 +6,24 @@
 //! dumps every run's daemon/mm books as JSONL.
 
 use gd_bench::blocks::block_size_experiment_tele;
+use gd_bench::energy::{engine_name, MeasureOpts};
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_workloads::spec2006_offlining_set;
 use greendimm::GreenDimmConfig;
 
 fn main() {
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
-    print_provenance(
-        "ablation_adaptive_thr",
-        "managed=8GiB spec2006-offlining blocks=128 seed=1 fixed-vs-adaptive",
-        &sw,
+    let mopts = MeasureOpts::from_args();
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "ablation_adaptive_thr",
+            "managed=8GiB spec2006-offlining blocks=128 seed=1 fixed-vs-adaptive",
+            engine_name(mopts.engine),
+            &sw,
+        )
     );
     let profiles = spec2006_offlining_set();
     let labels: Vec<String> = profiles.iter().map(|p| p.name.to_string()).collect();
@@ -35,6 +41,7 @@ fn main() {
                 1,
                 None,
                 topts.enabled(),
+                mopts.engine,
             )
             .expect("co-sim");
             let (adaptive, tele_adaptive) = block_size_experiment_tele(
@@ -48,6 +55,7 @@ fn main() {
                 1,
                 None,
                 topts.enabled(),
+                mopts.engine,
             )
             .expect("co-sim");
             (fixed, adaptive, tele_fixed, tele_adaptive)

@@ -4,8 +4,9 @@
 //! Scan-rate points fan across the sweep pool (`--jobs N`); timing lands
 //! in `results/BENCH_ablation_ksm_scan.json`.
 
+use gd_bench::energy::{engine_name, MeasureOpts};
 use gd_bench::report::{header, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_ksm::{Ksm, KsmConfig};
 use gd_mmsim::{MemoryManager, MmConfig, PageKind};
 use gd_types::SimTime;
@@ -13,10 +14,18 @@ use gd_types::SimTime;
 fn main() {
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
-    print_provenance(
-        "ablation_ksm_scan",
-        "mm-small-test 2x4096-page-vms rates=100..5000",
-        &sw,
+    // The KSM scan loop is exact under every engine (no time-advance
+    // co-simulation); `--engine` is accepted for flag uniformity and
+    // recorded in the provenance header.
+    let mopts = MeasureOpts::from_args();
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "ablation_ksm_scan",
+            "mm-small-test 2x4096-page-vms rates=100..5000",
+            engine_name(mopts.engine),
+            &sw,
+        )
     );
     let rates = [100u64, 500, 1000, 5000];
     let labels: Vec<String> = rates.iter().map(|r| format!("pages_to_scan={r}")).collect();

@@ -5,9 +5,10 @@
 //! `results/BENCH_ablation_neighbor.json`.
 
 use gd_bench::blocks::block_size_experiment_tele;
+use gd_bench::energy::{engine_name, MeasureOpts};
 use gd_bench::report::{header, pct, row};
 use gd_bench::{
-    print_provenance, run_vm_trace, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
+    provenance_line_with_engine, run_vm_trace, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
 };
 use gd_workloads::spec2006_offlining_set;
 use greendimm::GreenDimmConfig;
@@ -15,10 +16,15 @@ use greendimm::GreenDimmConfig;
 fn main() {
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
-    print_provenance(
-        "ablation_neighbor",
-        "managed=8GiB spec2006-offlining blocks=128 seed=1 constraint-on-vs-off",
-        &sw,
+    let mopts = MeasureOpts::from_args();
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "ablation_neighbor",
+            "managed=8GiB spec2006-offlining blocks=128 seed=1 constraint-on-vs-off",
+            engine_name(mopts.engine),
+            &sw,
+        )
     );
     // The VM-trace runner uses the paper-default daemon (constraint ON).
     // For the ablation we compare against the same run with the constraint
@@ -39,6 +45,7 @@ fn main() {
                 1,
                 None,
                 topts.enabled(),
+                mopts.engine,
             )
             .expect("co-sim");
             let (without, tele_without) = block_size_experiment_tele(
@@ -52,6 +59,7 @@ fn main() {
                 1,
                 None,
                 topts.enabled(),
+                mopts.engine,
             )
             .expect("co-sim");
             (with, without, tele_with, tele_without)
@@ -91,7 +99,11 @@ fn main() {
             &widths,
         );
     }
-    let vm = run_vm_trace(&VmTraceConfig::short_test()).expect("vm trace");
+    let vm = run_vm_trace(&VmTraceConfig {
+        engine: mopts.engine,
+        ..VmTraceConfig::short_test()
+    })
+    .expect("vm trace");
     println!(
         "\nVM trace (4 h): mean deep-PD fraction {} with the constraint on",
         pct(vm.mean_deep_pd_fraction())

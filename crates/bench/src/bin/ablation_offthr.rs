@@ -6,18 +6,24 @@
 //! in `results/BENCH_ablation_offthr.json`.
 
 use gd_bench::blocks::block_size_experiment_tele;
+use gd_bench::energy::{engine_name, MeasureOpts};
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_workloads::by_name;
 use greendimm::GreenDimmConfig;
 
 fn main() {
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
-    print_provenance(
-        "ablation_offthr",
-        "managed=8GiB gcc blocks=128 seed=1 thresholds=0.05..0.30",
-        &sw,
+    let mopts = MeasureOpts::from_args();
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "ablation_offthr",
+            "managed=8GiB gcc blocks=128 seed=1 thresholds=0.05..0.30",
+            engine_name(mopts.engine),
+            &sw,
+        )
     );
     let thresholds = [0.05, 0.10, 0.15, 0.20, 0.30];
     let labels: Vec<String> = thresholds.iter().map(|t| format!("off_thr={t}")).collect();
@@ -33,8 +39,17 @@ fn main() {
                 on_thr: off_thr / 2.0,
                 ..GreenDimmConfig::paper_default()
             };
-            block_size_experiment_tele(&gcc, 128, cfg, |c| c, 1, None, topts.enabled())
-                .expect("co-sim")
+            block_size_experiment_tele(
+                &gcc,
+                128,
+                cfg,
+                |c| c,
+                1,
+                None,
+                topts.enabled(),
+                mopts.engine,
+            )
+            .expect("co-sim")
         },
     );
     topts.write(

@@ -7,9 +7,9 @@
 //! `--telemetry PATH` dumps each run's daemon/mm books as JSONL.
 
 use gd_bench::blocks::{block_size_experiment_tele, nominal_runtime_s};
-use gd_bench::energy::MeasureOpts;
+use gd_bench::energy::{engine_name, MeasureOpts};
 use gd_bench::report::{header, pct, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_types::stats::percentile;
 use gd_workloads::energy_figure_set;
 use greendimm::GreenDimmConfig;
@@ -19,10 +19,14 @@ fn main() {
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
     let verify = opts.strict_validate.then_some(gd_verify::Mode::Strict);
-    print_provenance(
-        "fig11_perf_overhead",
-        "managed=8GiB energy-figure-set blocks=128 seed=1",
-        &sw,
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "fig11_perf_overhead",
+            "managed=8GiB energy-figure-set blocks=128 seed=1",
+            engine_name(opts.engine),
+            &sw,
+        )
     );
     if verify.is_some() {
         println!("[strict-validate: co-simulation invariants enforced]");
@@ -43,6 +47,7 @@ fn main() {
                 1,
                 verify,
                 topts.enabled(),
+                opts.engine,
             )
             .expect("co-sim")
         },

@@ -7,9 +7,11 @@
 //! `results/BENCH_fig13_capacity_scaling.json` and `--telemetry PATH`
 //! dumps every run's daemon/mm/ksm books as JSONL.
 
+use gd_bench::energy::{engine_name, MeasureOpts};
 use gd_bench::report::{f2, header, pct, row};
 use gd_bench::{
-    print_provenance, run_vm_trace_tele, timed_sweep, SweepOpts, TelemetryOpts, VmTraceConfig,
+    provenance_line_with_engine, run_vm_trace_tele, timed_sweep, SweepOpts, TelemetryOpts,
+    VmTraceConfig,
 };
 use gd_power::{ActivityProfile, DramPowerModel, PowerGating, SystemPowerModel};
 use gd_types::config::DramConfig;
@@ -21,10 +23,15 @@ fn main() {
         .requests
         .map(|n| (n as u64 * 300).clamp(3_600, 86_400))
         .unwrap_or(86_400);
-    print_provenance(
-        "fig13_capacity_scaling",
-        &format!("azure-24h block=1GB seed=42 duration_s={duration_s} caps=256..1024 x ksm"),
-        &sw,
+    let mopts = MeasureOpts::from_args();
+    println!(
+        "{}",
+        provenance_line_with_engine(
+            "fig13_capacity_scaling",
+            &format!("azure-24h block=1GB seed=42 duration_s={duration_s} caps=256..1024 x ksm"),
+            engine_name(mopts.engine),
+            &sw,
+        )
     );
     let caps = [256u64, 512, 768, 1024];
     // One point per {capacity, ksm} pair; results stitched back per capacity.
@@ -46,6 +53,7 @@ fn main() {
                 capacity_gb: cap_gb,
                 ksm,
                 duration_s,
+                engine: mopts.engine,
                 ..VmTraceConfig::paper_256gb()
             };
             run_vm_trace_tele(&cfg, topts.enabled()).expect("vm trace")

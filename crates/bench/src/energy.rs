@@ -22,6 +22,10 @@ pub struct MeasureOpts {
     /// event-driven engine; `EpochReplay` trades a bounded sampling error
     /// for speed and is flagged in provenance headers.
     pub engine: EngineMode,
+    /// True when the user pinned the engine via `--engine`. Binaries with a
+    /// non-default engine (e.g. the fleet figure defaults to epoch replay)
+    /// only override the engine when this is false.
+    pub engine_explicit: bool,
 }
 
 impl MeasureOpts {
@@ -39,11 +43,11 @@ impl MeasureOpts {
             .iter()
             .position(|a| a == "--engine")
             .and_then(|i| args.get(i + 1))
-            .map(|v| parse_engine(v))
-            .unwrap_or_default();
+            .map(|v| parse_engine(v));
         MeasureOpts {
             strict_validate: strict,
-            engine,
+            engine: engine.unwrap_or_default(),
+            engine_explicit: engine.is_some(),
         }
     }
 }

@@ -26,6 +26,8 @@ pub use energy::{
 };
 pub use provenance::{fnv1a, print_provenance, provenance_line, provenance_line_with_engine};
 pub use robustness::{robustness_experiment, RobustnessRow, FAULT_RATES};
-pub use sweep::{default_jobs, sweep, timed_sweep, PointCtx, SweepOpts, SweepTiming};
+pub use sweep::{
+    default_jobs, sweep, timed_sweep, timed_sweep_jobs, PointCtx, SweepOpts, SweepTiming,
+};
 pub use telemetry::{render_shards, TelemetryOpts};
 pub use vmtrace::{run_vm_trace, run_vm_trace_tele, VmTraceConfig, VmTraceOutcome, VmTraceSample};

@@ -14,15 +14,16 @@
 //!   returned `Vec` (and therefore every printed table) is byte-identical
 //!   for any `--jobs` value and any thread schedule.
 //!
-//! The pool is built on `std::thread::scope` — the workspace is
-//! dependency-free, so there is no rayon/crossbeam to lean on — and
+//! The pool itself is [`gd_fleet::pool::shard_map`] — built on
+//! `std::thread::scope` (the workspace is dependency-free, so there is no
+//! rayon/crossbeam to lean on), shared with the fleet's host sharding, and
 //! `--jobs 1` short-circuits to a plain serial loop, reproducing the
-//! pre-sweep execution path exactly.
+//! pre-sweep execution path exactly. A panicking point no longer poisons
+//! the merge mutex into an opaque `PoisonError`: the pool re-panics with
+//! the failing point index and the original payload text.
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Context handed to the closure evaluating one sweep point.
@@ -113,57 +114,21 @@ impl SweepOpts {
 /// Runs `f` over every point, fanning across `jobs` workers, and returns
 /// the results **in point order** regardless of scheduling.
 ///
+/// Delegates to [`gd_fleet::pool::shard_map`] (the same pool that shards
+/// fleet hosts), wrapping each index in a [`PointCtx`].
+///
 /// # Panics
 ///
-/// Propagates a panic from any worker (after the scope joins).
+/// If `f` panics on any point, the pool joins and re-panics with the
+/// lowest failing point index plus the original panic payload text
+/// (instead of the poisoned-mutex abort earlier versions produced).
 pub fn sweep<T, R, F>(points: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(PointCtx, &T) -> R + Sync,
 {
-    let jobs = jobs.clamp(1, points.len().max(1));
-    if jobs == 1 {
-        // Today's serial path, bit for bit: same iteration order, no pool.
-        return points
-            .iter()
-            .enumerate()
-            .map(|(index, p)| f(PointCtx { index }, p))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(points.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(point) = points.get(index) else {
-                        break;
-                    };
-                    local.push((index, f(PointCtx { index }, point)));
-                }
-                merged
-                    .lock()
-                    .expect("sweep result mutex poisoned")
-                    .append(&mut local);
-            });
-        }
-    });
-    let mut results = merged
-        .into_inner()
-        .expect("sweep result mutex poisoned after join");
-    // Completion order depends on the thread schedule; point order must not.
-    results.sort_by_key(|(index, _)| *index);
-    debug_assert!(
-        results
-            .iter()
-            .enumerate()
-            .all(|(k, (index, _))| k == *index),
-        "sweep lost or duplicated a point"
-    );
-    results.into_iter().map(|(_, r)| r).collect()
+    gd_fleet::pool::shard_map(points, jobs, |index, point| f(PointCtx { index }, point))
 }
 
 /// One timed point of a [`timed_sweep`] run.
@@ -268,9 +233,39 @@ where
     R: Send,
     F: Fn(PointCtx, &T) -> R + Sync,
 {
+    timed_sweep_jobs(
+        fig,
+        points,
+        labels,
+        jobs,
+        jobs.clamp(1, points.len().max(1)),
+        f,
+    )
+}
+
+/// [`timed_sweep`] with separate pool width and recorded width: the sweep
+/// fans out across `pool_jobs` workers while the timing sidecar records
+/// `recorded_jobs`. Figures that parallelize *inside* each point (the
+/// fleet binary shards hosts, not sweep points) run their outer sweep
+/// serially (`pool_jobs = 1`) but still report the worker width the inner
+/// pool used.
+#[allow(clippy::disallowed_methods)] // wall-time measurement is the point
+pub fn timed_sweep_jobs<T, R, F>(
+    fig: &str,
+    points: &[T],
+    labels: &[String],
+    pool_jobs: usize,
+    recorded_jobs: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(PointCtx, &T) -> R + Sync,
+{
     assert_eq!(points.len(), labels.len(), "one label per sweep point");
     let t0 = Instant::now(); // detlint: allow(instant) gd-lint: allow(sim-purity)
-    let timed: Vec<(R, f64)> = sweep(points, jobs, |ctx, p| {
+    let timed: Vec<(R, f64)> = sweep(points, pool_jobs, |ctx, p| {
         let p0 = Instant::now(); // detlint: allow(instant) gd-lint: allow(sim-purity)
         let r = f(ctx, p);
         (r, p0.elapsed().as_secs_f64())
@@ -279,7 +274,7 @@ where
     let (results, seconds): (Vec<R>, Vec<f64>) = timed.into_iter().unzip();
     SweepTiming {
         fig: fig.to_string(),
-        jobs: jobs.clamp(1, points.len().max(1)),
+        jobs: recorded_jobs.max(1),
         total_s,
         points: labels
             .iter()
@@ -322,6 +317,27 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(sweep(&empty, 4, |_, p| *p).is_empty());
         assert_eq!(sweep(&[5u8], 4, |_, p| *p * 2), vec![10]);
+    }
+
+    #[test]
+    fn panicking_point_reports_index_and_payload() {
+        // The old pool let a worker panic poison the merge mutex, so the
+        // user saw "sweep result mutex poisoned" instead of the actual
+        // failure. The shared shard pool re-panics with both the point
+        // index and the original payload.
+        let points: Vec<u32> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            sweep(&points, 4, |_, p| {
+                if *p == 5 {
+                    panic!("point 5 hit a wall");
+                }
+                *p
+            })
+        })
+        .expect_err("panic must propagate");
+        let text = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("item 5"), "{text}");
+        assert!(text.contains("point 5 hit a wall"), "{text}");
     }
 
     #[test]

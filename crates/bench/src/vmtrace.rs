@@ -1,11 +1,15 @@
 //! The Azure VM-trace co-simulation behind Figs. 1, 12, and 13.
+//!
+//! The single-host replay loop itself lives in [`gd_fleet::host`] (the
+//! fleet drives it once per host); this module keeps the bench-facing
+//! configuration, synthesizes the single-host Azure trace, and adapts the
+//! host runner's outcome to the shapes the figure binaries consume.
 
-use gd_ksm::{Ksm, KsmConfig, RegionId};
-use gd_mmsim::{AllocationId, MemoryManager, MmConfig, PageKind};
-use gd_types::{Result, SimTime};
-use gd_workloads::azure::{synthesize, AzureConfig, VmEventKind};
-use greendimm::{Daemon, DaemonStats, EpochSim, FootprintDriver, GreenDimmConfig, GroupMap};
-use std::collections::HashMap; // detlint: allow(maporder)
+use gd_dram::EngineMode;
+use gd_fleet::host::{run_host, HostSimConfig};
+use gd_types::Result;
+use gd_workloads::azure::{synthesize, AzureConfig};
+use greendimm::DaemonStats;
 
 /// Configuration of one VM-trace run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +27,10 @@ pub struct VmTraceConfig {
     pub duration_s: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Time-advance engine (`--engine` on the figure binaries). The exact
+    /// engines agree bit for bit; `EpochReplay` fast-forwards quiet
+    /// scheduler periods.
+    pub engine: EngineMode,
 }
 
 impl VmTraceConfig {
@@ -35,6 +43,7 @@ impl VmTraceConfig {
             greendimm: true,
             duration_s: 86_400,
             seed: 42,
+            engine: EngineMode::EventDriven,
         }
     }
 
@@ -132,102 +141,31 @@ pub fn run_vm_trace_tele(
         ..AzureConfig::paper_24h()
     };
     let trace = synthesize(&azure);
-
-    let mm_cfg = MmConfig {
-        capacity_bytes: cfg.capacity_gb << 30,
-        block_bytes: cfg.block_gb << 30,
-        movablecore_bytes: None,
-        unmovable_leak_prob: 0.0,
-        transient_fail_prob: 0.0,
+    let host_cfg = HostSimConfig {
+        capacity_gb: cfg.capacity_gb,
+        block_gb: cfg.block_gb,
+        ksm: cfg.ksm,
+        greendimm: cfg.greendimm,
+        duration_s: cfg.duration_s,
+        schedule_period_s: azure.schedule_period_s,
         seed: cfg.seed,
+        engine: cfg.engine,
     };
-    let mut mm = MemoryManager::new(mm_cfg)?;
-    // Kernel reservation (unmovable, stays on-line).
-    let kernel_pages = mm.meminfo().installed_pages / 50;
-    mm.allocate(kernel_pages, PageKind::KernelUnmovable)?;
-
-    let gd_cfg = if cfg.greendimm {
-        GreenDimmConfig::paper_default().with_seed(cfg.seed)
-    } else {
-        // Thresholds that never trigger: the daemon is inert.
-        GreenDimmConfig {
-            off_thr: 2.0,
-            on_thr: 0.0,
-            ..GreenDimmConfig::paper_default()
-        }
-    };
-    let map = GroupMap::new(mm_cfg.capacity_bytes, 64, mm_cfg.block_bytes)?;
-    let daemon = Daemon::new(gd_cfg, map);
-    let ksm = cfg.ksm.then(|| Ksm::new(KsmConfig::default()));
-    let mut sim = EpochSim::new(mm, daemon, ksm);
-    if with_telemetry {
-        sim.enable_telemetry();
-    }
-
-    // Keyed lookups only (insert/remove by VM id) — never iterated, so the
-    // hash order cannot reach any output.
-    let mut footprints: HashMap<u32, (FootprintDriver, Option<RegionId>, AllocationId)> = // detlint: allow(maporder)
-        HashMap::new(); // detlint: allow(maporder)
-    let mut samples = Vec::new();
-    let mut event_idx = 0;
-    let tick = azure.schedule_period_s;
-    let ticks = cfg.duration_s / tick;
-    for t in 0..=ticks {
-        let now_s = t * tick;
-        // Apply this tick's VM lifecycle events.
-        while event_idx < trace.events.len() && trace.events[event_idx].time_s <= now_s {
-            let ev = &trace.events[event_idx];
-            event_idx += 1;
-            match ev.kind {
-                VmEventKind::Start => {
-                    let mut fp = FootprintDriver::new();
-                    sim.set_footprint(&mut fp, ev.vm.mem_pages())?;
-                    // Find the allocation id through the manager: the driver
-                    // hides it, so register KSM against a fresh handle by
-                    // re-deriving contents. We track the driver itself.
-                    let region = match (&mut sim.ksm, cfg.ksm) {
-                        (Some(_), true) => {
-                            let (shareable, unique) = ev.vm.ksm_contents();
-                            let owner = fp.allocation_id().expect("just allocated");
-                            Some(
-                                sim.ksm
-                                    .as_mut()
-                                    .expect("ksm on")
-                                    .register_region(owner, shareable, unique),
-                            )
-                        }
-                        _ => None,
-                    };
-                    let owner = fp.allocation_id().expect("just allocated");
-                    footprints.insert(ev.vm.id, (fp, region, owner));
-                }
-                VmEventKind::Stop => {
-                    if let Some((mut fp, region, _owner)) = footprints.remove(&ev.vm.id) {
-                        if let (Some(r), Some(ksm)) = (region, &mut sim.ksm) {
-                            ksm.unregister_region(r)?;
-                        }
-                        fp.clear(&mut sim.mm)?;
-                    }
-                }
-            }
-        }
-        sim.step(SimTime::from_secs(tick))?;
-        let info = sim.mm.meminfo();
-        samples.push(VmTraceSample {
-            time_s: now_s,
-            used_fraction: info.used_pages as f64 / info.installed_pages as f64,
-            offline_blocks: sim.mm.offline_block_count(),
-            deep_pd_fraction: sim.deep_pd_fraction(),
-        });
-    }
-    let released = sim.ksm.as_ref().map(|k| k.frames_released()).unwrap_or(0);
-    sim.export_telemetry("vm");
-    let tele = sim.telemetry.take();
+    let (run, tele) = run_host(&host_cfg, &trace.events, with_telemetry)?;
     Ok((
         VmTraceOutcome {
-            samples,
-            daemon: sim.daemon.stats,
-            ksm_released_pages: released,
+            samples: run
+                .samples
+                .iter()
+                .map(|s| VmTraceSample {
+                    time_s: s.time_s,
+                    used_fraction: s.used_fraction,
+                    offline_blocks: s.offline_blocks,
+                    deep_pd_fraction: s.deep_pd_fraction,
+                })
+                .collect(),
+            daemon: run.daemon,
+            ksm_released_pages: run.ksm_released_pages,
         },
         tele,
     ))
@@ -301,5 +239,26 @@ mod tests {
             base.mean_offline_blocks()
         );
         assert!(with_ksm.mean_used_fraction() < base.mean_used_fraction());
+    }
+
+    #[test]
+    fn engines_agree_on_the_vm_trace() {
+        let exact = run_vm_trace(&VmTraceConfig::short_test()).unwrap();
+        let stepped = run_vm_trace(&VmTraceConfig {
+            engine: EngineMode::Stepped,
+            ..VmTraceConfig::short_test()
+        })
+        .unwrap();
+        assert_eq!(exact.samples, stepped.samples);
+        assert_eq!(exact.daemon, stepped.daemon);
+        let replay = run_vm_trace(&VmTraceConfig {
+            engine: EngineMode::EpochReplay(Default::default()),
+            ..VmTraceConfig::short_test()
+        })
+        .unwrap();
+        // The replay engine only skips settled periods, so the means stay
+        // close even when it engages.
+        assert!((replay.mean_deep_pd_fraction() - exact.mean_deep_pd_fraction()).abs() < 0.02);
+        assert!((replay.mean_used_fraction() - exact.mean_used_fraction()).abs() < 0.02);
     }
 }

@@ -43,6 +43,10 @@ pub struct DaemonStats {
     /// Wall-clock time spent inside hotplug operations and deep power-down
     /// exits.
     pub hotplug_time: SimTime,
+    /// Monitor ticks skipped by the epoch-replay engine's steady-state
+    /// fast-forward ([`crate::EpochSim::fast_forward`]). 0 ⇒ the run is
+    /// exact; anything else flags a sampled result.
+    pub replayed_ticks: u64,
 }
 
 impl DaemonStats {

@@ -1,0 +1,359 @@
+//! One host's co-simulation: replay a VM lifecycle event stream through
+//! the mm/daemon/KSM stack under a selectable engine.
+//!
+//! This is the single-host loop `gd_bench::vmtrace` pioneered for
+//! Figs. 1/12/13, hoisted below the bench crate so the fleet can drive it
+//! once per host with scheduler-produced event streams (and so the bench
+//! crate can delegate to it, keeping exactly one copy of the loop). The
+//! three [`EngineMode`]s:
+//!
+//! * [`EngineMode::Stepped`] — one [`EpochSim::step`] per second;
+//! * [`EngineMode::EventDriven`] — one step per scheduler period.
+//!   `EpochSim::step` slices internally at monitor boundaries, so the two
+//!   exact engines agree bit for bit by construction;
+//! * [`EngineMode::EpochReplay`] — once a period sees no VM events *and*
+//!   the previous exactly-simulated period was quiet (no hotplug, no KSM
+//!   progress), the period is fast-forwarded: monitor ticks are replayed
+//!   analytically ([`EpochSim::fast_forward`]) and the sample repeats the
+//!   settled state. Footprints only move at VM events, so a settled quiet
+//!   host is exactly stationary; the approximation is the skipped KSM scan
+//!   work, which the quiet gate requires to have already converged.
+
+use gd_dram::EngineMode;
+use gd_ksm::{Ksm, KsmConfig, RegionId};
+use gd_mmsim::{AllocationId, MemoryManager, MmConfig, PageKind};
+use gd_types::{Result, SimTime};
+use gd_workloads::{VmEvent, VmEventKind};
+use greendimm::{Daemon, DaemonStats, EpochSim, FootprintDriver, GreenDimmConfig, GroupMap};
+use std::collections::HashMap; // detlint: allow(maporder)
+
+/// Configuration of one host co-simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSimConfig {
+    /// Installed memory capacity in GiB.
+    pub capacity_gb: u64,
+    /// Memory block size in GiB.
+    pub block_gb: u64,
+    /// Enable KSM.
+    pub ksm: bool,
+    /// Enable the GreenDIMM daemon (off = conventional kernel).
+    pub greendimm: bool,
+    /// Simulated duration in seconds.
+    pub duration_s: u64,
+    /// Scheduler period in seconds (sampling granularity).
+    pub schedule_period_s: u64,
+    /// RNG seed for this host's simulators.
+    pub seed: u64,
+    /// Simulation engine.
+    pub engine: EngineMode,
+}
+
+impl HostSimConfig {
+    /// The paper's 256 GiB host with 1 GiB blocks.
+    pub fn paper_256gb() -> Self {
+        HostSimConfig {
+            capacity_gb: 256,
+            block_gb: 1,
+            ksm: false,
+            greendimm: true,
+            duration_s: 86_400,
+            schedule_period_s: 300,
+            seed: 42,
+            engine: EngineMode::EventDriven,
+        }
+    }
+}
+
+/// One sampled point of a host co-simulation (one per scheduler period).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSample {
+    /// Seconds from run start.
+    pub time_s: u64,
+    /// Used fraction of installed capacity (after KSM merging, if on).
+    pub used_fraction: f64,
+    /// Off-lined memory blocks.
+    pub offline_blocks: usize,
+    /// Fraction of sub-array groups in deep power-down.
+    pub deep_pd_fraction: f64,
+}
+
+/// Full outcome of one host co-simulation.
+#[derive(Debug, Clone)]
+pub struct HostRun {
+    /// Per-scheduler-period samples.
+    pub samples: Vec<HostSample>,
+    /// Daemon counters (including `replayed_ticks` under epoch replay).
+    pub daemon: DaemonStats,
+    /// Pages KSM released over the run.
+    pub ksm_released_pages: u64,
+    /// Scheduler periods that were fast-forwarded instead of simulated.
+    pub replayed_periods: u64,
+}
+
+impl HostRun {
+    /// Mean used fraction over the run.
+    pub fn mean_used_fraction(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.used_fraction))
+    }
+
+    /// Mean number of off-line blocks.
+    pub fn mean_offline_blocks(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.offline_blocks as f64))
+    }
+
+    /// Mean deep power-down fraction (drives the power numbers).
+    pub fn mean_deep_pd_fraction(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.deep_pd_fraction))
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = iter.fold((0.0, 0u64), |(s, n), v| (s + v, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Replays `events` (time-ordered, stops before starts within a tick)
+/// through a fresh host stack and samples once per scheduler period.
+///
+/// When `with_telemetry` is true the run records span-scoped daemon ticks
+/// and exports the mm/ksm/daemon books under the `vm.*` scope at the end.
+///
+/// # Errors
+///
+/// Propagates simulator-setup and bookkeeping errors (not kernel-level
+/// off-lining failures, which are part of the experiment).
+pub fn run_host(
+    cfg: &HostSimConfig,
+    events: &[VmEvent],
+    with_telemetry: bool,
+) -> Result<(HostRun, Option<gd_obs::Telemetry>)> {
+    let mm_cfg = MmConfig {
+        capacity_bytes: cfg.capacity_gb << 30,
+        block_bytes: cfg.block_gb << 30,
+        movablecore_bytes: None,
+        unmovable_leak_prob: 0.0,
+        transient_fail_prob: 0.0,
+        seed: cfg.seed,
+    };
+    let mut mm = MemoryManager::new(mm_cfg)?;
+    // Kernel reservation (unmovable, stays on-line).
+    let kernel_pages = mm.meminfo().installed_pages / 50;
+    mm.allocate(kernel_pages, PageKind::KernelUnmovable)?;
+
+    let gd_cfg = if cfg.greendimm {
+        GreenDimmConfig::paper_default().with_seed(cfg.seed)
+    } else {
+        // Thresholds that never trigger: the daemon is inert.
+        GreenDimmConfig {
+            off_thr: 2.0,
+            on_thr: 0.0,
+            ..GreenDimmConfig::paper_default()
+        }
+    };
+    let map = GroupMap::new(mm_cfg.capacity_bytes, 64, mm_cfg.block_bytes)?;
+    let daemon = Daemon::new(gd_cfg, map);
+    let ksm = cfg.ksm.then(|| Ksm::new(KsmConfig::default()));
+    let mut sim = EpochSim::new(mm, daemon, ksm);
+    if with_telemetry {
+        sim.enable_telemetry();
+    }
+
+    // Keyed lookups only (insert/remove by VM id) — never iterated, so the
+    // hash order cannot reach any output.
+    let mut footprints: HashMap<u32, (FootprintDriver, Option<RegionId>, AllocationId)> = // detlint: allow(maporder)
+        HashMap::new(); // detlint: allow(maporder)
+    let mut samples = Vec::new();
+    let mut event_idx = 0;
+    let mut replayed_periods = 0u64;
+    // Epoch-replay quiet gate: the previous period was simulated exactly
+    // and moved nothing the fast path cannot reproduce.
+    let mut last_quiet = false;
+    let mut prev_offline = 0usize;
+    let mut prev_hotplug = 0u64;
+    let mut prev_released = 0u64;
+    let tick = cfg.schedule_period_s;
+    let ticks = cfg.duration_s / tick;
+    for t in 0..=ticks {
+        let now_s = t * tick;
+        // Apply this period's VM lifecycle events.
+        let mut had_events = false;
+        while event_idx < events.len() && events[event_idx].time_s <= now_s {
+            let ev = &events[event_idx];
+            event_idx += 1;
+            had_events = true;
+            match ev.kind {
+                VmEventKind::Start => {
+                    let mut fp = FootprintDriver::new();
+                    sim.set_footprint(&mut fp, ev.vm.mem_pages())?;
+                    let region = match (&mut sim.ksm, cfg.ksm) {
+                        (Some(_), true) => {
+                            let (shareable, unique) = ev.vm.ksm_contents();
+                            let owner = fp.allocation_id().expect("just allocated");
+                            Some(
+                                sim.ksm
+                                    .as_mut()
+                                    .expect("ksm on")
+                                    .register_region(owner, shareable, unique),
+                            )
+                        }
+                        _ => None,
+                    };
+                    let owner = fp.allocation_id().expect("just allocated");
+                    footprints.insert(ev.vm.id, (fp, region, owner));
+                }
+                VmEventKind::Stop => {
+                    if let Some((mut fp, region, _owner)) = footprints.remove(&ev.vm.id) {
+                        if let (Some(r), Some(ksm)) = (region, &mut sim.ksm) {
+                            ksm.unregister_region(r)?;
+                        }
+                        fp.clear(&mut sim.mm)?;
+                    }
+                }
+            }
+        }
+        let replay =
+            matches!(cfg.engine, EngineMode::EpochReplay(_)) && t > 0 && !had_events && last_quiet;
+        if replay {
+            sim.fast_forward(SimTime::from_secs(tick));
+            replayed_periods += 1;
+            // State is stationary by the quiet gate: repeat the previous
+            // sample at the new timestamp.
+            let prev = *samples.last().expect("t > 0 implies a prior sample");
+            samples.push(HostSample {
+                time_s: now_s,
+                ..prev
+            });
+            continue;
+        }
+        match cfg.engine {
+            EngineMode::Stepped => {
+                for _ in 0..tick {
+                    sim.step(SimTime::from_secs(1))?;
+                }
+            }
+            _ => {
+                sim.step(SimTime::from_secs(tick))?;
+            }
+        }
+        let offline = sim.mm.offline_block_count();
+        let hotplug = sim.daemon.stats.hotplug_events();
+        let released = sim.ksm.as_ref().map(|k| k.frames_released()).unwrap_or(0);
+        last_quiet =
+            offline == prev_offline && hotplug == prev_hotplug && released == prev_released;
+        prev_offline = offline;
+        prev_hotplug = hotplug;
+        prev_released = released;
+        let info = sim.mm.meminfo();
+        samples.push(HostSample {
+            time_s: now_s,
+            used_fraction: info.used_pages as f64 / info.installed_pages as f64,
+            offline_blocks: offline,
+            deep_pd_fraction: sim.deep_pd_fraction(),
+        });
+    }
+    let released = sim.ksm.as_ref().map(|k| k.frames_released()).unwrap_or(0);
+    sim.export_telemetry("vm");
+    let tele = sim.telemetry.take();
+    Ok((
+        HostRun {
+            samples,
+            daemon: sim.daemon.stats,
+            ksm_released_pages: released,
+            replayed_periods,
+        },
+        tele,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_workloads::azure::{synthesize, AzureConfig};
+
+    fn short_events() -> Vec<VmEvent> {
+        synthesize(&AzureConfig {
+            duration_s: 2 * 3_600,
+            ..AzureConfig::paper_24h()
+        })
+        .events
+    }
+
+    fn short_cfg(engine: EngineMode) -> HostSimConfig {
+        HostSimConfig {
+            duration_s: 2 * 3_600,
+            engine,
+            ..HostSimConfig::paper_256gb()
+        }
+    }
+
+    #[test]
+    fn stepped_and_event_driven_agree_bit_for_bit() {
+        let events = short_events();
+        let (stepped, _) = run_host(&short_cfg(EngineMode::Stepped), &events, false).unwrap();
+        let (event, _) = run_host(&short_cfg(EngineMode::EventDriven), &events, false).unwrap();
+        assert_eq!(stepped.samples, event.samples);
+        assert_eq!(stepped.ksm_released_pages, event.ksm_released_pages);
+        assert_eq!(stepped.daemon, event.daemon);
+        assert_eq!(stepped.replayed_periods, 0);
+        assert_eq!(event.replayed_periods, 0);
+    }
+
+    #[test]
+    fn epoch_replay_fast_forwards_quiet_periods() {
+        // A single short burst of events, then a long idle tail: the tail
+        // must be replayed, and the replayed samples must repeat the
+        // settled state.
+        let mut events = short_events();
+        events.retain(|e| e.time_s <= 600);
+        let cfg = HostSimConfig {
+            duration_s: 6 * 3_600,
+            ..short_cfg(EngineMode::EpochReplay(Default::default()))
+        };
+        let (run, _) = run_host(&cfg, &events, false).unwrap();
+        assert!(run.replayed_periods > 0, "idle tail was not replayed");
+        assert!(run.daemon.replayed_ticks > 0);
+        let last = run.samples.last().unwrap();
+        let prev = run.samples[run.samples.len() - 2];
+        assert_eq!(last.offline_blocks, prev.offline_blocks);
+        assert_eq!(last.deep_pd_fraction, prev.deep_pd_fraction);
+        // The exact engine on the same stream agrees on the settled state
+        // (the replay approximation only skips converged work).
+        let (exact, _) = run_host(
+            &HostSimConfig {
+                engine: EngineMode::EventDriven,
+                ..cfg
+            },
+            &events,
+            false,
+        )
+        .unwrap();
+        let e_last = exact.samples.last().unwrap();
+        assert_eq!(last.offline_blocks, e_last.offline_blocks);
+        assert!((last.deep_pd_fraction - e_last.deep_pd_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_is_exact_when_every_period_has_events() {
+        // The Azure stream keeps every period busy, so the quiet gate never
+        // opens and epoch replay degenerates to the exact engine.
+        let events = short_events();
+        let (replay, _) = run_host(
+            &short_cfg(EngineMode::EpochReplay(Default::default())),
+            &events,
+            false,
+        )
+        .unwrap();
+        let (exact, _) = run_host(&short_cfg(EngineMode::EventDriven), &events, false).unwrap();
+        if replay.replayed_periods == 0 {
+            assert_eq!(replay.samples, exact.samples);
+        } else {
+            // If some periods did go quiet, the means must still agree
+            // closely (replay only skips settled periods).
+            assert!((replay.mean_deep_pd_fraction() - exact.mean_deep_pd_fraction()).abs() < 0.02);
+        }
+    }
+}

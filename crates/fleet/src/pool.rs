@@ -1,0 +1,172 @@
+//! The deterministic shard pool: fan independent items across workers,
+//! return results in item order, propagate worker panics usefully.
+//!
+//! This is the machinery `gd_bench::sweep` pioneered for figure points,
+//! hoisted below the bench crate so fleet hosts (and the sweep itself,
+//! which now delegates here) share one implementation:
+//!
+//! * workers pull indices from a shared atomic counter, collect results
+//!   locally, and the harness sorts the merged set by index — the returned
+//!   `Vec` is byte-identical for any `jobs` value and thread schedule;
+//! * `jobs == 1` short-circuits to a plain serial loop, reproducing the
+//!   single-threaded execution path exactly;
+//! * a panicking item no longer poisons the merge mutex into an opaque
+//!   `PoisonError`: the pool stops handing out new items, joins, and
+//!   re-panics with the failing item index plus the original payload text.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Renders a caught panic payload as text (the common `&str` / `String`
+/// payloads verbatim, anything else a placeholder).
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` over every item, fanning across `jobs` workers, and returns
+/// the results **in item order** regardless of scheduling.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the pool finishes in-flight items, joins,
+/// and panics with a message naming the lowest failing item index plus the
+/// original panic payload text.
+pub fn shard_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        // The plain serial path, bit for bit: same iteration order, no
+        // pool, and a panic propagates with its original payload.
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    // The lowest-index panic seen (workers race; lowest wins for a stable
+    // message), with its payload text.
+    let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index, item)))
+                    {
+                        Ok(r) => local.push((index, r)),
+                        Err(payload) => {
+                            stop.store(true, Ordering::Relaxed);
+                            let text = payload_text(payload.as_ref());
+                            let mut slot = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                            if slot.as_ref().is_none_or(|(i, _)| index < *i) {
+                                *slot = Some((index, text));
+                            }
+                        }
+                    }
+                }
+                // A worker that panicked inside `f` never reaches the
+                // merge with a lock held, so this lock cannot be poisoned
+                // by item panics; tolerate poisoning anyway rather than
+                // trading one opaque abort for another.
+                merged
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .append(&mut local);
+            });
+        }
+    });
+    if let Some((index, text)) = panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        panic!("shard pool item {index} panicked: {text}");
+    }
+    let mut results = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+    // Completion order depends on the thread schedule; item order must not.
+    results.sort_by_key(|(index, _)| *index);
+    debug_assert!(
+        results
+            .iter()
+            .enumerate()
+            .all(|(k, (index, _))| k == *index),
+        "shard pool lost or duplicated an item"
+    );
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..41).collect();
+        let f = |i: usize, x: &u64| i as u64 * 1000 + x * 3;
+        let serial = shard_map(&items, 1, f);
+        for jobs in [2, 3, 8] {
+            assert_eq!(shard_map(&items, jobs, f), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(shard_map(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(shard_map(&[7u8], 4, |_, x| *x * 2), vec![14]);
+    }
+
+    #[test]
+    fn panic_carries_item_index_and_payload() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            shard_map(&items, 4, |_, x| {
+                if *x == 3 {
+                    panic!("host 3 exploded: {}", x * 2);
+                }
+                *x
+            })
+        })
+        .expect_err("must propagate the panic");
+        let text = payload_text(caught.as_ref());
+        assert!(text.contains("item 3"), "{text}");
+        assert!(text.contains("host 3 exploded: 6"), "{text}");
+    }
+
+    #[test]
+    fn lowest_failing_index_wins() {
+        // Every item panics; the reported index must be deterministic (the
+        // lowest), not whichever worker lost the race.
+        let items: Vec<u32> = (0..32).collect();
+        for _ in 0..8 {
+            let caught = std::panic::catch_unwind(|| {
+                shard_map(&items, 8, |i, _: &u32| -> u32 { panic!("boom {i}") })
+            })
+            .expect_err("must propagate");
+            let text = payload_text(caught.as_ref());
+            assert!(
+                text.contains("item 0 panicked: boom 0"),
+                "non-deterministic panic report: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_path_panics_with_original_payload() {
+        let items = [1u32];
+        let caught = std::panic::catch_unwind(|| {
+            shard_map(&items, 1, |_, _: &u32| -> u32 { panic!("plain") })
+        })
+        .expect_err("must propagate");
+        assert_eq!(payload_text(caught.as_ref()), "plain");
+    }
+}

@@ -7,7 +7,8 @@
 //! * the DRAM organization and timing configuration ([`config`]),
 //! * shared error types ([`error`]),
 //! * deterministic RNG construction ([`rng`]),
-//! * small streaming-statistics helpers ([`stats`]).
+//! * small streaming-statistics helpers ([`stats`]),
+//! * fleet-scale configuration and VM accounting ([`fleet`]).
 //!
 //! # Example
 //!
@@ -25,6 +26,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fleet;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -32,5 +34,6 @@ pub mod time;
 
 pub use config::{DramConfig, DramOrg, DramTiming};
 pub use error::{GdError, Result};
+pub use fleet::{FleetConfig, FleetPlacement, FleetStats};
 pub use ids::{Bank, BankGroup, Channel, Rank, Row, SubArray, SubArrayGroup};
 pub use time::{Cycles, SimTime};

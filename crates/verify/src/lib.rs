@@ -15,7 +15,8 @@
 //!   and the GreenDIMM daemon's observable behaviour; [`faults`] covers
 //!   the fault-recovery contract (quarantine backoff respected, degraded
 //!   groups stay shallow); [`telemetry`] checks exported gd-obs data
-//!   (residency histograms sum to elapsed sim time).
+//!   (residency histograms sum to elapsed sim time); [`fleet`] covers the
+//!   cluster scheduler (VM conservation, host capacity caps).
 //!
 //! The DRAM command-protocol validator lives with the command log it
 //! replays, in [`gd_dram::validate`]; this crate covers everything above
@@ -24,6 +25,7 @@
 //! configuration.
 
 pub mod faults;
+pub mod fleet;
 pub mod ksm;
 pub mod mm;
 pub mod obs;

@@ -165,7 +165,7 @@ impl AzureTrace {
     }
 }
 
-fn sample_vm(id: u32, rng: &mut StdRng) -> VmSpec {
+pub(crate) fn sample_vm(id: u32, rng: &mut StdRng) -> VmSpec {
     // vCPU/memory joint distribution loosely following the Azure trace's
     // bias toward small VMs.
     let (vcpus, mem_choices): (u32, &[u32]) = match rng.gen_range(0..100) {
@@ -220,11 +220,10 @@ pub fn synthesize(cfg: &AzureConfig) -> AzureTrace {
             }
         }
         active = still;
-        // Diurnal arrival intensity: trough at t=0, peak mid-trace.
-        let phase = t as f64 / 86_400.0 * std::f64::consts::TAU;
-        let intensity =
-            cfg.arrivals_per_tick * (1.0 + 0.9 * (phase - std::f64::consts::FRAC_PI_2).sin());
-        let arrivals = poisson(intensity.max(0.0), &mut rng);
+        // Diurnal arrival intensity: trough at t=0, peak mid-trace (shared
+        // with the cluster fan-out so both streams keep the same shape).
+        let intensity = crate::cluster::diurnal_intensity(cfg.arrivals_per_tick, t);
+        let arrivals = poisson(intensity, &mut rng);
         for _ in 0..arrivals {
             backlog.push(sample_vm(next_id, &mut rng));
             next_id += 1;
@@ -261,7 +260,7 @@ pub fn synthesize(cfg: &AzureConfig) -> AzureTrace {
     }
 }
 
-fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
+pub(crate) fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
     // Knuth's algorithm; lambda is small (< 5).
     let l = (-lambda).exp();
     let mut k = 0u32;

@@ -1,0 +1,154 @@
+//! Cluster-scale fan-out of the Azure VM-trace synthesizer.
+//!
+//! [`crate::azure::synthesize`] models one host: arrivals are admitted (or
+//! dropped) against a single machine's consolidation constraints. The
+//! fleet experiments need the step *before* admission — the raw arrival
+//! stream offered to a whole cluster — so the placement scheduler in
+//! `gd-fleet` can decide which host each VM lands on. This module
+//! synthesizes that stream with the same VM population and the same
+//! diurnal intensity shape, scaled to N hosts.
+
+use crate::azure::{poisson, sample_vm, VmSpec};
+use gd_types::rng::{component_rng, StdRng};
+
+/// Configuration of a synthesized cluster arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Trace duration in seconds.
+    pub duration_s: u64,
+    /// Scheduler period in seconds (arrivals are batched per tick).
+    pub schedule_period_s: u64,
+    /// Mean VM arrivals per scheduler tick across the whole cluster at the
+    /// diurnal baseline.
+    pub arrivals_per_tick: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One VM offered to the cluster (placement not yet decided).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmArrival {
+    /// Arrival time in seconds from trace start (a scheduler tick).
+    pub time_s: u64,
+    /// The VM.
+    pub vm: VmSpec,
+}
+
+/// The diurnal arrival intensity at time `t` seconds for a given baseline:
+/// trough at t = 0, peak mid-trace — the same shape
+/// [`crate::azure::synthesize`] uses, factored out so the single-host and
+/// cluster streams stay in lockstep by construction.
+pub fn diurnal_intensity(baseline: f64, t_s: u64) -> f64 {
+    let phase = t_s as f64 / 86_400.0 * std::f64::consts::TAU;
+    (baseline * (1.0 + 0.9 * (phase - std::f64::consts::FRAC_PI_2).sin())).max(0.0)
+}
+
+/// Poisson sampler that stays exact for the large rates a cluster stream
+/// produces. Knuth's product method underflows past λ ≈ 700, so large λ is
+/// drawn as a sum of independent small-λ draws (Poisson is closed under
+/// addition); the split is fixed, so the draw is a pure function of the
+/// RNG stream.
+pub(crate) fn poisson_large(mut lambda: f64, rng: &mut StdRng) -> u64 {
+    const CHUNK: f64 = 32.0;
+    let mut k = 0u64;
+    while lambda > CHUNK {
+        k += u64::from(poisson(CHUNK, rng));
+        lambda -= CHUNK;
+    }
+    k + u64::from(poisson(lambda, rng))
+}
+
+/// Synthesizes the cluster arrival stream: diurnally-modulated Poisson
+/// arrivals per scheduler tick, each VM drawn from the Azure population
+/// model. Arrivals are in time order; ids are unique and increase in
+/// arrival order. Deterministic per seed.
+pub fn synthesize_cluster(cfg: &ClusterConfig) -> Vec<VmArrival> {
+    let mut rng = component_rng(cfg.seed, "azure-cluster");
+    let mut arrivals = Vec::new();
+    let mut next_id = 0u32;
+    let ticks = cfg.duration_s / cfg.schedule_period_s;
+    for tick in 0..=ticks {
+        let t = tick * cfg.schedule_period_s;
+        let n = poisson_large(diurnal_intensity(cfg.arrivals_per_tick, t), &mut rng);
+        for _ in 0..n {
+            arrivals.push(VmArrival {
+                time_s: t,
+                vm: sample_vm(next_id, &mut rng),
+            });
+            next_id += 1;
+        }
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            duration_s: 86_400,
+            schedule_period_s: 300,
+            arrivals_per_tick: 0.8 * 100.0, // a 100-host cluster
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthesize_cluster(&cfg());
+        let b = synthesize_cluster(&cfg());
+        assert_eq!(a, b);
+        let c = synthesize_cluster(&ClusterConfig { seed: 43, ..cfg() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_time_ordered_with_unique_increasing_ids() {
+        let arrivals = synthesize_cluster(&cfg());
+        assert!(arrivals.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+        assert!(arrivals
+            .iter()
+            .enumerate()
+            .all(|(i, a)| a.vm.id == i as u32));
+    }
+
+    #[test]
+    fn volume_scales_with_intensity() {
+        let small = synthesize_cluster(&ClusterConfig {
+            arrivals_per_tick: 0.8,
+            ..cfg()
+        });
+        let large = synthesize_cluster(&cfg());
+        // 100x the baseline intensity must produce far more arrivals; the
+        // expected count is ~0.8 * 289 ticks * diurnal mean (~1.0).
+        assert!(
+            large.len() > small.len() * 50,
+            "{} vs {}",
+            large.len(),
+            small.len()
+        );
+        let expected = 0.8 * 100.0 * 289.0;
+        let ratio = large.len() as f64 / expected;
+        assert!((0.8..1.2).contains(&ratio), "{} arrivals", large.len());
+    }
+
+    #[test]
+    fn diurnal_shape_troughs_at_start_and_peaks_midday() {
+        let trough = diurnal_intensity(1.0, 0);
+        let peak = diurnal_intensity(1.0, 43_200);
+        assert!(trough < 0.2, "{trough}");
+        assert!(peak > 1.8, "{peak}");
+    }
+
+    #[test]
+    fn poisson_large_matches_small_lambda_mean() {
+        let mut rng = component_rng(7, "t");
+        let n = 2_000;
+        let mean: f64 = (0..n)
+            .map(|_| poisson_large(100.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((90.0..110.0).contains(&mean), "{mean}");
+    }
+}

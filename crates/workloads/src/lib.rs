@@ -12,7 +12,10 @@
 //! * [`cpu`] — the MLP-aware runtime model converting memory latency into
 //!   execution time;
 //! * [`azure`] — the VM-trace synthesizer (arrivals, lifetimes,
-//!   consolidation constraints, KSM content model).
+//!   consolidation constraints, KSM content model);
+//! * [`cluster`] — the cluster-scale arrival stream behind the fleet
+//!   experiments (same VM population and diurnal shape, placement left to
+//!   the `gd-fleet` scheduler).
 //!
 //! # Example
 //!
@@ -26,11 +29,13 @@
 //! ```
 
 pub mod azure;
+pub mod cluster;
 pub mod cpu;
 pub mod profile;
 pub mod trace;
 
 pub use azure::{AzureConfig, AzureTrace, VmEvent, VmEventKind, VmSpec};
+pub use cluster::{synthesize_cluster, ClusterConfig, VmArrival};
 pub use cpu::{estimate_runtime, slowdown, RuntimeEstimate};
 pub use profile::{
     by_name, energy_figure_set, spec2006_offlining_set, AppProfile, FootprintDynamics, Suite,

@@ -7,6 +7,7 @@
 //! ```
 
 use greendimm_suite::bench::{run_vm_trace, VmTraceConfig};
+use greendimm_suite::dram::EngineMode;
 use greendimm_suite::power::{ActivityProfile, DramPowerModel, PowerGating};
 use greendimm_suite::types::config::DramConfig;
 
@@ -18,6 +19,7 @@ fn main() {
         greendimm: true,
         duration_s: 8 * 3600, // an 8-hour shift for a quick demo
         seed: 7,
+        engine: EngineMode::EventDriven,
     };
     println!("simulating an 8 h VM consolidation trace on a 256 GB host (KSM on)...\n");
     let out = run_vm_trace(&cfg).expect("co-simulation");

@@ -18,6 +18,8 @@
 //! * [`baselines`] — self-refresh-only, RAMZzz, and PASR governors.
 //! * [`verify`] — the cross-crate invariant checker and determinism gate.
 //! * [`core`] — the GreenDIMM daemon and full-system co-simulation.
+//! * [`fleet`] — the datacenter-scale fleet simulation: placement
+//!   scheduler, sharded per-host co-simulation, sampled replay.
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@ pub use gd_baselines as baselines;
 pub use gd_bench as bench;
 pub use gd_dram as dram;
 pub use gd_faults as faults;
+pub use gd_fleet as fleet;
 pub use gd_ksm as ksm;
 pub use gd_mmsim as mmsim;
 pub use gd_obs as obs;

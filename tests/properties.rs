@@ -10,6 +10,7 @@ use greendimm_suite::mmsim::{BuddyAllocator, MemoryManager, MmConfig, PageKind, 
 use greendimm_suite::types::config::{DramConfig, InterleaveMode};
 use greendimm_suite::types::ids::SubArrayGroup;
 use greendimm_suite::types::rng::{component_rng, derive_seed};
+use greendimm_suite::workloads::azure::{synthesize, AzureConfig};
 
 const MODES: [InterleaveMode; 3] = [
     InterleaveMode::Interleaved,
@@ -251,6 +252,37 @@ fn strict_verification_catches_broken_rollback() {
     healthy.audit().unwrap();
     let mut strict = standard_checker(Mode::Strict);
     strict.run(&healthy).unwrap();
+}
+
+/// The Azure synthesizer across many seeds: every utilization sample stays
+/// inside the paper's documented envelope (Fig. 1: 7–92 % of installed
+/// capacity, so [0, 0.95] with slack), the diurnal mean lands near the
+/// reported 48 % average, and each seed reproduces its schedule exactly.
+#[test]
+fn azure_utilization_stays_in_the_documented_envelope() {
+    for seed in 1u64..=10 {
+        let cfg = AzureConfig {
+            seed,
+            ..AzureConfig::paper_24h()
+        };
+        let trace = synthesize(&cfg);
+        for &(t, u) in &trace.utilization {
+            assert!(
+                (0.0..=0.95).contains(&u),
+                "seed {seed}: utilization {u:.3} at t={t} left the envelope"
+            );
+        }
+        let mean = trace.mean_utilization();
+        assert!(
+            (0.25..=0.70).contains(&mean),
+            "seed {seed}: mean utilization {mean:.2}"
+        );
+        let (lo, hi) = trace.utilization_range();
+        assert!(lo < 0.30, "seed {seed}: diurnal trough {lo:.2} too high");
+        assert!(hi > 0.55, "seed {seed}: diurnal peak {hi:.2} too low");
+        // Same seed, same schedule — bit for bit.
+        assert_eq!(trace, synthesize(&cfg), "seed {seed} not reproducible");
+    }
 }
 
 /// Every block belongs to at least one group and the group->blocks /

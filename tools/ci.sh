@@ -97,23 +97,46 @@ diff -u <(tail -n +2 /tmp/fig_faults.st.ci.txt) <(tail -n +2 /tmp/fig_faults.ev.
 }
 rm -f /tmp/fig_faults.{j1,j4,st,ev}.ci.txt
 
-echo "==> perf budget (fig03 full serial regeneration vs committed sidecar; soft gate)"
+echo "==> fleet smoke (fig14, 12 hosts, --jobs 2 vs --jobs 1, telemetry byte-identity)"
+cargo run --quiet --release -p gd-bench --bin fig14_fleet_energy -- \
+  --hosts 12 --requests 8 --jobs 1 --strict-validate \
+  --telemetry /tmp/fig14.j1.ci.jsonl > /tmp/fig14.j1.ci.txt
+cargo run --quiet --release -p gd-bench --bin fig14_fleet_energy -- \
+  --hosts 12 --requests 8 --jobs 2 --strict-validate \
+  --telemetry /tmp/fig14.j2.ci.jsonl > /tmp/fig14.j2.ci.txt
+# The provenance header records the pinned jobs value and the telemetry
+# announcement echoes the per-run dump path; everything else must be
+# byte-identical, and so must the merged per-host telemetry shards.
+diff -u <(grep -v -e '^# provenance:' -e '^\[telemetry ->' /tmp/fig14.j1.ci.txt) \
+        <(grep -v -e '^# provenance:' -e '^\[telemetry ->' /tmp/fig14.j2.ci.txt) || {
+  echo "ERROR: fig14 output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+}
+cmp /tmp/fig14.j1.ci.jsonl /tmp/fig14.j2.ci.jsonl || {
+  echo "ERROR: fig14 telemetry differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+}
+rm -f /tmp/fig14.{j1,j2}.ci.txt /tmp/fig14.{j1,j2}.ci.jsonl
+
+echo "==> perf budget (fig03 + fig09 full serial regeneration vs committed sidecars; soft gate)"
 # Re-runs the exact pinned config of the committed results/BENCH_*.json
 # (serial, default request count) with the sidecar redirected, then compares
 # wall clocks. A regression past 2x the committed budget WARNS but does not
 # fail: wall time is machine-dependent, and the committed values are the
 # performance trajectory, not a hard SLA.
-cargo run --quiet --release -p gd-bench --bin fig03_interleaving -- --jobs 1 > /dev/null
-budget=$(grep -o '"total_s": [0-9.]*' results/BENCH_fig03_interleaving.json | awk '{print $2}')
-actual=$(grep -o '"total_s": [0-9.]*' "$GD_BENCH_DIR"/BENCH_fig03_interleaving.json | awk '{print $2}')
-awk -v a="$actual" -v b="$budget" 'BEGIN {
-  if (b <= 0) { print "WARNING: committed fig03 budget sidecar is missing or zero"; exit }
-  if (a > 2 * b) {
-    printf "WARNING: fig03 serial regeneration took %.2fs, over 2x the committed budget of %.2fs\n", a, b
-  } else {
-    printf "fig03 serial regeneration: %.2fs (committed budget %.2fs, soft limit 2x)\n", a, b
-  }
-}'
+for fig in fig03_interleaving fig09_dram_energy; do
+  cargo run --quiet --release -p gd-bench --bin "$fig" -- --jobs 1 > /dev/null
+  budget=$(grep -o '"total_s": [0-9.]*' "results/BENCH_$fig.json" | awk '{print $2}')
+  actual=$(grep -o '"total_s": [0-9.]*' "$GD_BENCH_DIR/BENCH_$fig.json" | awk '{print $2}')
+  awk -v a="$actual" -v b="$budget" -v f="$fig" 'BEGIN {
+    if (b <= 0) { printf "WARNING: committed %s budget sidecar is missing or zero\n", f; exit }
+    if (a > 2 * b) {
+      printf "WARNING: %s serial regeneration took %.2fs, over 2x the committed budget of %.2fs\n", f, a, b
+    } else {
+      printf "%s serial regeneration: %.2fs (committed budget %.2fs, soft limit 2x)\n", f, a, b
+    }
+  }'
+done
 rm -rf "$GD_BENCH_DIR"
 unset GD_BENCH_DIR
 
