@@ -6,19 +6,32 @@
 //! `results/BENCH_fig02_idle_busy_power.json` and `--telemetry PATH` dumps
 //! the per-capacity power gauges as JSONL.
 
+use gd_bench::energy::{memspec_suffix, platform_desc, reject_sampled_engine, MeasureOpts};
 use gd_bench::report::{f2, header, pct, row};
-use gd_bench::{print_provenance, timed_sweep, SweepOpts, TelemetryOpts};
+use gd_bench::{provenance_line, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_obs::Telemetry;
-use gd_power::{ActivityProfile, DramPowerModel, PowerGating};
+use gd_power::{memspec_for, ActivityProfile, PowerGating};
 use gd_types::config::DramConfig;
 
 fn main() {
+    let mopts = MeasureOpts::from_args();
+    if let Err(e) = reject_sampled_engine("fig02_idle_busy_power", &mopts) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
-    print_provenance(
-        "fig02_idle_busy_power",
-        "analytic ddr4-2133 base=256GB busy_util=0.45 caps=64..1024",
-        &sw,
+    println!(
+        "{}{}",
+        provenance_line(
+            "fig02_idle_busy_power",
+            &format!(
+                "analytic {} base=256GB busy_util=0.45 caps=64..1024",
+                platform_desc(mopts.memspec)
+            ),
+            &sw,
+        ),
+        memspec_suffix(mopts.memspec)
     );
     let caps = [64u64, 128, 256, 512, 768, 1024];
     let labels: Vec<String> = caps.iter().map(|c| format!("{c}GB")).collect();
@@ -28,7 +41,7 @@ fn main() {
         &labels,
         sw.jobs,
         |_ctx, &cap_gb| {
-            let base = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+            let base = memspec_for(DramConfig::preset_256gb(mopts.memspec)).expect("paper preset");
             let idle_256 =
                 base.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
             let busy_256 =
@@ -38,7 +51,8 @@ fn main() {
             // with DIMM count.
             let activity_w = busy_256 - idle_256;
             let idle = if cap_gb == 64 {
-                let m64 = DramPowerModel::new(DramConfig::ddr4_2133_64gb());
+                let m64 =
+                    memspec_for(DramConfig::preset_64gb(mopts.memspec)).expect("paper preset");
                 m64.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none())
             } else {
                 // Capacity past the preset scales linearly in installed

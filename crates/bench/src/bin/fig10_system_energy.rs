@@ -6,7 +6,10 @@
 //! `results/BENCH_fig10_system_energy.json` and `--telemetry PATH` dumps
 //! each run's DRAM books as JSONL.
 
-use gd_bench::energy::{engine_name, evaluate_app_tele, MeasureOpts};
+use gd_bench::energy::{
+    engine_name, evaluate_app_tele, memspec_suffix, platform_desc, reject_sampled_engine,
+    MeasureOpts,
+};
 use gd_bench::report::{f2, header, row};
 use gd_bench::{provenance_line_with_engine, timed_sweep, SweepOpts, TelemetryOpts};
 use gd_types::config::DramConfig;
@@ -15,18 +18,26 @@ use gd_workloads::energy_figure_set;
 
 fn main() {
     let opts = MeasureOpts::from_args();
+    if let Err(e) = reject_sampled_engine("fig10_system_energy", &opts) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let sw = SweepOpts::from_args();
     let topts = TelemetryOpts::from_args();
-    let cfg = DramConfig::ddr4_2133_64gb();
+    let cfg = DramConfig::preset_64gb(opts.memspec);
     let requests = sw.requests.unwrap_or(20_000);
     println!(
-        "{}",
+        "{}{}",
         provenance_line_with_engine(
             "fig10_system_energy",
-            &format!("ddr4-2133 64GB energy-figure-set requests={requests} seed=1"),
+            &format!(
+                "{} 64GB energy-figure-set requests={requests} seed=1",
+                platform_desc(opts.memspec)
+            ),
             engine_name(opts.engine),
             &sw,
-        )
+        ),
+        memspec_suffix(opts.memspec)
     );
     if opts.strict_validate {
         println!("[strict-validate: protocol + governor invariants enforced]");

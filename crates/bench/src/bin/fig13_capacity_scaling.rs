@@ -7,14 +7,16 @@
 //! `results/BENCH_fig13_capacity_scaling.json` and `--telemetry PATH`
 //! dumps every run's daemon/mm/ksm books as JSONL.
 
-use gd_bench::energy::{engine_name, MeasureOpts};
+use gd_bench::energy::{
+    engine_name, memspec_suffix, platform_desc, reject_sampled_engine, MeasureOpts,
+};
 use gd_bench::report::{f2, header, pct, row};
 use gd_bench::{
     provenance_line_with_engine, run_vm_trace_tele, timed_sweep, SweepOpts, TelemetryOpts,
     VmTraceConfig,
 };
-use gd_power::{ActivityProfile, DramPowerModel, PowerGating, SystemPowerModel};
-use gd_types::config::DramConfig;
+use gd_power::{memspec_for, ActivityProfile, PowerGating, SystemPowerModel};
+use gd_types::config::{DramConfig, MemSpecKind};
 
 fn main() {
     let sw = SweepOpts::from_args();
@@ -24,14 +26,29 @@ fn main() {
         .map(|n| (n as u64 * 300).clamp(3_600, 86_400))
         .unwrap_or(86_400);
     let mopts = MeasureOpts::from_args();
+    if let Err(e) = reject_sampled_engine("fig13_capacity_scaling", &mopts) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    // The VM-trace co-simulation is mm/daemon-level (block off-lining and
+    // deep power-down dwell) and memory-generation-independent; the backend
+    // only changes the analytic power model the dwell fractions feed. Keep
+    // the DDR4 config description verbatim so its provenance hash holds.
+    let platform = match mopts.memspec {
+        MemSpecKind::Ddr4 => String::new(),
+        kind => format!("{} ", platform_desc(kind)),
+    };
     println!(
-        "{}",
+        "{}{}",
         provenance_line_with_engine(
             "fig13_capacity_scaling",
-            &format!("azure-24h block=1GB seed=42 duration_s={duration_s} caps=256..1024 x ksm"),
+            &format!(
+                "{platform}azure-24h block=1GB seed=42 duration_s={duration_s} caps=256..1024 x ksm"
+            ),
             engine_name(mopts.engine),
             &sw,
-        )
+        ),
+        memspec_suffix(mopts.memspec)
     );
     let caps = [256u64, 512, 768, 1024];
     // One point per {capacity, ksm} pair; results stitched back per capacity.
@@ -79,7 +96,7 @@ fn main() {
     );
     let sys_model = SystemPowerModel::default();
     let cpu_util = 0.3; // consolidated VM server, modest CPU activity
-    let base_model = DramPowerModel::new(DramConfig::ddr4_2133_256gb());
+    let base_model = memspec_for(DramConfig::preset_256gb(mopts.memspec)).expect("paper preset");
     let activity = ActivityProfile::busy(0.15);
     let p256 = base_model.analytic_power_w(&activity, &PowerGating::none());
 

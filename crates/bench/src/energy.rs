@@ -4,8 +4,8 @@ use gd_baselines::{
     GovernorContext, GovernorOutcome, GreenDimmGovernor, Pasr, PowerGovernor, RamZzz, SrfOnly,
 };
 use gd_dram::{EngineMode, EpochReplayCfg, LowPowerPolicy, MemorySystem, TimingChecker};
-use gd_power::{ActivityProfile, DramPowerModel, SystemPowerModel};
-use gd_types::config::{DramConfig, InterleaveMode};
+use gd_power::{memspec_for, ActivityProfile, MemSpec, SystemPowerModel};
+use gd_types::config::{DramConfig, InterleaveMode, MemSpecKind};
 use gd_types::{Cycles, GdError, Result};
 use gd_workloads::{estimate_runtime, AppProfile, TraceGenerator};
 
@@ -26,13 +26,20 @@ pub struct MeasureOpts {
     /// non-default engine (e.g. the fleet figure defaults to epoch replay)
     /// only override the engine when this is false.
     pub engine_explicit: bool,
+    /// Memory-generation backend for the figure's platform config and power
+    /// model (`--memspec ddr4|ddr5|lpddr4-pasr`). Defaults to the paper's
+    /// DDR4 platform, whose outputs are bit-identical to the pre-backend
+    /// code.
+    pub memspec: MemSpecKind,
 }
 
 impl MeasureOpts {
     /// Parses the figure binaries' shared command line: `--strict-validate`
     /// (or a `GD_STRICT_VALIDATE=1` environment) turns the verification
     /// gate on; `--engine stepped|event|epoch-replay` selects the
-    /// time-advance engine.
+    /// time-advance engine; `--memspec ddr4|ddr5|lpddr4-pasr` selects the
+    /// memory-generation backend. An unknown `--memspec` value aborts
+    /// rather than silently running the DDR4 default.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let strict = args.iter().any(|a| a == "--strict-validate")
@@ -44,11 +51,81 @@ impl MeasureOpts {
             .position(|a| a == "--engine")
             .and_then(|i| args.get(i + 1))
             .map(|v| parse_engine(v));
+        let memspec = args
+            .iter()
+            .position(|a| a == "--memspec")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                MemSpecKind::parse(v).unwrap_or_else(|| {
+                    eprintln!("error: unknown --memspec {v:?} (expected ddr4, ddr5, lpddr4-pasr)");
+                    std::process::exit(2);
+                })
+            });
         MeasureOpts {
             strict_validate: strict,
             engine: engine.unwrap_or_default(),
             engine_explicit: engine.is_some(),
+            memspec: memspec.unwrap_or_default(),
         }
+    }
+}
+
+/// Refuses the sampled epoch-replay engine outright. The cross-generation
+/// figure compares backends bit for bit, so a bounded sampling error would
+/// silently contaminate the comparison even though the provenance header
+/// carries the `(sampled)` flag.
+///
+/// # Errors
+///
+/// [`GdError::InvalidConfig`] when `opts` selects the epoch-replay engine.
+pub fn require_exact_engine(fig: &str, opts: &MeasureOpts) -> Result<()> {
+    if matches!(opts.engine, EngineMode::EpochReplay(_)) {
+        return Err(GdError::InvalidConfig(format!(
+            "{fig}: --engine epoch-replay is sampled and only calibrated against the \
+             DDR4 command mix; this run requires an exact engine (omit --engine or \
+             pass stepped)"
+        )));
+    }
+    Ok(())
+}
+
+/// Enforces the exactness contract of cross-generation runs (satellite of
+/// the multi-backend work): the epoch-replay engine samples representative
+/// epochs and was only ever calibrated against the DDR4 command mix, so a
+/// non-DDR4 backend refuses it outright instead of emitting a snapshot
+/// whose `engine=epoch-replay(sampled)` flag the reader might miss.
+///
+/// # Errors
+///
+/// [`GdError::InvalidConfig`] when `opts` combines a non-DDR4 backend with
+/// the epoch-replay engine.
+pub fn reject_sampled_engine(fig: &str, opts: &MeasureOpts) -> Result<()> {
+    if opts.memspec != MemSpecKind::Ddr4 {
+        require_exact_engine(fig, opts)?;
+    }
+    Ok(())
+}
+
+/// Provenance name of a backend's paper-platform speed grade, used in the
+/// config descriptions the provenance hash covers. The DDR4 name matches
+/// the pre-backend description strings exactly, so default snapshot
+/// headers keep their hash.
+#[must_use]
+pub fn platform_desc(kind: MemSpecKind) -> &'static str {
+    match kind {
+        MemSpecKind::Ddr4 => "ddr4-2133",
+        MemSpecKind::Ddr5 => "ddr5-4800",
+        MemSpecKind::Lpddr4Pasr => "lpddr4-3200",
+    }
+}
+
+/// Provenance fragment naming a non-default backend, e.g. ` memspec=ddr5`.
+/// Empty for DDR4 so committed DDR4 snapshot headers stay byte-identical.
+#[must_use]
+pub fn memspec_suffix(kind: MemSpecKind) -> String {
+    match kind {
+        MemSpecKind::Ddr4 => String::new(),
+        other => format!(" memspec={}", other.name()),
     }
 }
 
@@ -175,7 +252,7 @@ pub fn measure_app_tele(
         sys.export_telemetry(tele, scope);
     }
     let avg_latency = stats.read_latency.mean().unwrap_or(60.0);
-    let model = DramPowerModel::new(cfg);
+    let model = memspec_for(cfg)?;
 
     // Closed-loop runtime model. The open-loop probe saturates a single
     // channel under linear mapping, growing queueing delay without bound,
@@ -232,7 +309,7 @@ pub struct EnergyRow {
 /// Computes energy for one (app, policy, mode) cell from its measurement
 /// and governor outcome.
 fn energy_cell(
-    model: &DramPowerModel,
+    model: &dyn MemSpec,
     system: &SystemPowerModel,
     profile: &AppProfile,
     meas: &AppMeasurement,
@@ -323,7 +400,7 @@ pub fn evaluate_app_tele(
         opts,
         tele,
     )?;
-    let model = DramPowerModel::new(cfg);
+    let model = memspec_for(cfg)?;
     let system = SystemPowerModel::default();
     let cpu_util = 0.6;
 
@@ -363,7 +440,7 @@ pub fn evaluate_app_tele(
                 None => g.evaluate(&ctx),
             };
             let (runtime, dram_j, system_j) =
-                energy_cell(&model, &system, profile, meas, &out, cpu_util);
+                energy_cell(model.as_ref(), &system, profile, meas, &out, cpu_util);
             if g.name() == "srf_only" && !meas.interleaved {
                 baseline = Some((dram_j, system_j));
             }

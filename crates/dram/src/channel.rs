@@ -21,7 +21,7 @@ use crate::command::{AccessKind, DramCommand, PendingRequest, RequestPhase};
 use crate::policy::LowPowerPolicy;
 use crate::rank::{RankCtl, RankPowerState, RankResidency};
 use crate::validate::CommandRecord;
-use gd_types::config::{DramConfig, DramTiming};
+use gd_types::config::{DramConfig, DramTiming, RefreshScheme};
 use gd_types::stats::Summary;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -107,6 +107,8 @@ enum OldestAction {
 #[derive(Debug)]
 pub(crate) struct ChannelCtrl {
     timing: DramTiming,
+    /// Refresh scheme: all-bank REF (DDR4/LPDDR4) or DDR5 same-bank REFsb.
+    scheme: RefreshScheme,
     bank_groups: usize,
     banks_per_group: usize,
     banks_per_rank: usize,
@@ -157,16 +159,25 @@ impl ChannelCtrl {
         let ranks_n = org.ranks_per_channel as usize;
         let banks_per_rank = org.banks_per_rank() as usize;
         let timing = cfg.timing;
+        let scheme = cfg.refresh_scheme();
+        // Cycles between consecutive refresh commands: tREFI for all-bank
+        // REF; tREFI / sets for same-bank REFsb (each command covers one
+        // bank per group, so `sets` commands refresh the whole rank).
+        let interval = match scheme {
+            RefreshScheme::AllBank => timing.t_refi,
+            RefreshScheme::SameBank { sets } => timing.t_refi / u64::from(sets),
+        };
         // Stagger refresh across ranks so they do not refresh in lock-step.
         let ranks = (0..ranks_n)
             .map(|r| {
-                let offset = timing.t_refi * (r as u64 + 1) / ranks_n as u64;
+                let offset = interval * (r as u64 + 1) / ranks_n as u64;
                 RankCtl::new(org.bank_groups, offset)
             })
             .collect();
         let total_banks = ranks_n * banks_per_rank;
         ChannelCtrl {
             timing,
+            scheme,
             bank_groups: org.bank_groups as usize,
             banks_per_group: org.banks_per_group as usize,
             banks_per_rank,
@@ -240,6 +251,30 @@ impl ChannelCtrl {
                 row: group,
                 command: DramCommand::ModeRegisterSet,
             });
+        }
+    }
+
+    /// Logs the MR17 write that masks or unmasks an LPDDR4 PASR segment
+    /// (row = segment index, bank = the mask-bit value).
+    pub fn record_pasr(&mut self, cycle: u64, segment: u32, masked: bool) {
+        if let Some(log) = &mut self.log {
+            log.push(CommandRecord {
+                cycle,
+                channel: self.channel_index,
+                rank: 0,
+                bank: u32::from(masked),
+                bank_group: 0,
+                row: segment,
+                command: DramCommand::PasrMask,
+            });
+        }
+    }
+
+    /// Cycles between consecutive refresh commands under the active scheme.
+    fn refresh_interval(&self) -> u64 {
+        match self.scheme {
+            RefreshScheme::AllBank => self.timing.t_refi,
+            RefreshScheme::SameBank { sets } => self.timing.t_refi / u64::from(sets),
         }
     }
 
@@ -381,12 +416,13 @@ impl ChannelCtrl {
     }
 
     fn complete_wakeups(&mut self, now: u64) {
+        let interval = self.refresh_interval();
         for rank in &mut self.ranks {
             if let Some(w) = rank.wake_at {
                 if now >= w {
                     if rank.power == RankPowerState::SelfRefresh {
                         // Self-refresh exit performs a refresh internally.
-                        rank.next_refresh = now + self.timing.t_refi;
+                        rank.next_refresh = now + interval;
                     }
                     rank.set_power(now, RankPowerState::PrechargeStandby);
                     rank.wake_at = None;
@@ -399,11 +435,12 @@ impl ChannelCtrl {
     }
 
     fn advance_self_refresh_counters(&mut self, now: u64) {
+        let interval = self.refresh_interval();
         for rank in &mut self.ranks {
             if rank.power == RankPowerState::SelfRefresh && rank.next_refresh <= now {
                 let behind = now - rank.next_refresh;
-                let steps = behind / self.timing.t_refi + 1;
-                rank.next_refresh += steps * self.timing.t_refi;
+                let steps = behind / interval + 1;
+                rank.next_refresh += steps * interval;
             }
         }
     }
@@ -425,46 +462,121 @@ impl ChannelCtrl {
                 self.record(now, ri as u32, 0, 0, 0, DramCommand::PowerDownExit);
                 return true;
             }
-            if !self.ranks[ri].all_precharged() {
-                // Close one open bank whose tRAS/tRTP/tWR window allows it.
-                for bi in 0..self.banks_per_rank {
-                    let idx = ri * self.banks_per_rank + bi;
-                    if self.banks.is_open(idx) && now >= self.banks.next_pre[idx] {
-                        self.banks.on_precharge(idx, now, &self.timing);
-                        self.ranks[ri].on_precharge_bank();
-                        self.counters.precharges += 1;
-                        self.record(
-                            now,
-                            ri as u32,
-                            bi as u32,
-                            (bi / self.banks_per_group) as u32,
-                            0,
-                            DramCommand::Precharge,
-                        );
-                        // Any queued request that had this row open must
-                        // re-activate.
-                        for q in self.queues[idx].iter_mut() {
-                            q.phase = RequestPhase::NeedsActivate;
-                        }
-                        self.cands[idx].valid = false;
-                        return true;
-                    }
-                }
-                continue; // waiting on tRAS etc.
-            }
-            if now >= self.ranks[ri].refresh_until {
-                let until = now + self.timing.t_rfc;
-                let base = ri * self.banks_per_rank;
-                for idx in base..base + self.banks_per_rank {
-                    self.banks.block_until(idx, until);
-                }
-                let rank = &mut self.ranks[ri];
-                rank.refresh_until = until;
-                rank.next_refresh += self.timing.t_refi;
-                self.counters.refreshes += 1;
-                self.record(now, ri as u32, 0, 0, 0, DramCommand::Refresh);
+            let issued = match self.scheme {
+                RefreshScheme::AllBank => self.service_refresh_all_bank(ri, now),
+                RefreshScheme::SameBank { sets } => self.service_refresh_same_bank(ri, now, sets),
+            };
+            if issued {
                 return true;
             }
+        }
+        false
+    }
+
+    /// All-bank REF: the whole rank must be precharged, and every bank
+    /// stalls for tRFC.
+    fn service_refresh_all_bank(&mut self, ri: usize, now: u64) -> bool {
+        if !self.ranks[ri].all_precharged() {
+            // Close one open bank whose tRAS/tRTP/tWR window allows it.
+            for bi in 0..self.banks_per_rank {
+                let idx = ri * self.banks_per_rank + bi;
+                if self.banks.is_open(idx) && now >= self.banks.next_pre[idx] {
+                    self.banks.on_precharge(idx, now, &self.timing);
+                    self.ranks[ri].on_precharge_bank();
+                    self.counters.precharges += 1;
+                    self.record(
+                        now,
+                        ri as u32,
+                        bi as u32,
+                        (bi / self.banks_per_group) as u32,
+                        0,
+                        DramCommand::Precharge,
+                    );
+                    // Any queued request that had this row open must
+                    // re-activate.
+                    for q in self.queues[idx].iter_mut() {
+                        q.phase = RequestPhase::NeedsActivate;
+                    }
+                    self.cands[idx].valid = false;
+                    return true;
+                }
+            }
+            return false; // waiting on tRAS etc.
+        }
+        if now >= self.ranks[ri].refresh_until {
+            let until = now + self.timing.t_rfc;
+            let base = ri * self.banks_per_rank;
+            for idx in base..base + self.banks_per_rank {
+                self.banks.block_until(idx, until);
+            }
+            let rank = &mut self.ranks[ri];
+            rank.refresh_until = until;
+            rank.next_refresh += self.timing.t_refi;
+            self.counters.refreshes += 1;
+            self.record(now, ri as u32, 0, 0, 0, DramCommand::Refresh);
+            return true;
+        }
+        false
+    }
+
+    /// DDR5 same-bank REFsb: the due set is one bank per bank group (flat
+    /// index `bg * banks_per_group + set`). Only those banks must be
+    /// precharged and only they stall — for tRFCsb — while the rest of the
+    /// rank keeps serving requests. The set rotates so `sets` consecutive
+    /// commands (tREFI/sets apart) refresh the whole rank once per tREFI.
+    fn service_refresh_same_bank(&mut self, ri: usize, now: u64, sets: u32) -> bool {
+        let set = self.ranks[ri].refresh_set as usize;
+        let mut target_open = false;
+        for bg in 0..self.bank_groups {
+            let idx = self.bank_idx(ri, bg, set);
+            if !self.banks.is_open(idx) {
+                continue;
+            }
+            target_open = true;
+            if now >= self.banks.next_pre[idx] {
+                self.banks.on_precharge(idx, now, &self.timing);
+                self.ranks[ri].on_precharge_bank();
+                self.counters.precharges += 1;
+                self.record(
+                    now,
+                    ri as u32,
+                    (idx % self.banks_per_rank) as u32,
+                    bg as u32,
+                    0,
+                    DramCommand::Precharge,
+                );
+                // Any queued request that had this row open must re-activate.
+                for q in self.queues[idx].iter_mut() {
+                    q.phase = RequestPhase::NeedsActivate;
+                }
+                self.cands[idx].valid = false;
+                return true;
+            }
+        }
+        if target_open {
+            return false; // waiting on tRAS etc.
+        }
+        if now >= self.ranks[ri].refresh_until {
+            let until = now + self.timing.t_rfc_sb;
+            for bg in 0..self.bank_groups {
+                let idx = self.bank_idx(ri, bg, set);
+                self.banks.block_until(idx, until);
+            }
+            let rank = &mut self.ranks[ri];
+            rank.refresh_until = until;
+            rank.next_refresh += self.timing.t_refi / u64::from(sets);
+            rank.refresh_set = (rank.refresh_set + 1) % sets;
+            self.counters.refreshes += 1;
+            // bank = the refreshed set index (one bank per group).
+            self.record(
+                now,
+                ri as u32,
+                set as u32,
+                0,
+                0,
+                DramCommand::RefreshSameBank,
+            );
+            return true;
         }
         false
     }
@@ -871,7 +983,13 @@ impl ChannelCtrl {
                 t = t.min((self.ranks[ri].state_since + self.timing.t_cke).max(now + 1));
                 continue;
             }
-            if self.ranks[ri].refresh_until > now {
+            if matches!(self.scheme, RefreshScheme::AllBank) && self.ranks[ri].refresh_until > now {
+                // All-bank refresh stalls every bank in the rank, so the
+                // refresh end is the bank's next actionable cycle. Under
+                // same-bank REFsb only the target set is stalled (via its
+                // bank gates), so fall through to the candidate gates —
+                // skipping here would sleep past issue opportunities on the
+                // non-target banks and diverge from the stepped engine.
                 t = t.min(self.ranks[ri].refresh_until);
                 continue;
             }

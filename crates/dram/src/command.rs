@@ -20,6 +20,9 @@ pub enum DramCommand {
     PrechargeAll,
     /// Rank-level auto-refresh.
     Refresh,
+    /// DDR5 same-bank refresh: refreshes one bank per bank group (a
+    /// "set"), stalling only those banks for tRFCsb.
+    RefreshSameBank,
     /// Enter power-down (CKE low).
     PowerDownEnter,
     /// Exit power-down (CKE high).
@@ -28,9 +31,12 @@ pub enum DramCommand {
     SelfRefreshEnter,
     /// Exit self-refresh.
     SelfRefreshExit,
-    /// Mode-register set — used to program PASR bank masks and GreenDIMM's
-    /// sub-array-group deep power-down bit vector.
+    /// Mode-register set — used to program GreenDIMM's sub-array-group
+    /// deep power-down bit vector.
     ModeRegisterSet,
+    /// Mode-register write of an LPDDR4 PASR segment mask bit (MR17):
+    /// masked segments are excluded from self-refresh.
+    PasrMask,
 }
 
 impl DramCommand {
@@ -58,11 +64,13 @@ impl fmt::Display for DramCommand {
             DramCommand::Precharge => "PRE",
             DramCommand::PrechargeAll => "PREA",
             DramCommand::Refresh => "REF",
+            DramCommand::RefreshSameBank => "REFsb",
             DramCommand::PowerDownEnter => "PDE",
             DramCommand::PowerDownExit => "PDX",
             DramCommand::SelfRefreshEnter => "SRE",
             DramCommand::SelfRefreshExit => "SRX",
             DramCommand::ModeRegisterSet => "MRS",
+            DramCommand::PasrMask => "PASR",
         };
         f.write_str(s)
     }

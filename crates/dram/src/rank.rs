@@ -123,6 +123,10 @@ pub(crate) struct RankCtl {
     pub next_refresh: u64,
     /// Refresh in progress until this cycle.
     pub refresh_until: u64,
+    /// Rotating same-bank refresh set (DDR5 REFsb): the bank-in-group index
+    /// the next REFsb targets. Always 0 under all-bank refresh. An index,
+    /// not a timestamp — epoch-replay time shifts leave it alone.
+    pub refresh_set: u32,
     /// Number of banks with an open row.
     pub open_banks: u32,
     /// Timestamps of the most recent ACTs (for tFAW), most recent first
@@ -154,6 +158,7 @@ impl RankCtl {
             wake_at: None,
             next_refresh: refresh_offset,
             refresh_until: 0,
+            refresh_set: 0,
             open_banks: 0,
             act_window: VecDeque::with_capacity(4),
             next_act_any: 0,

@@ -25,7 +25,7 @@
 //! neighbor).
 
 use crate::command::DramCommand;
-use gd_types::config::{DramConfig, DramTiming};
+use gd_types::config::{DramConfig, DramTiming, MemSpecKind, RefreshScheme};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -109,6 +109,9 @@ struct RankTrack {
     last_act_any: Option<u64>,
     last_act_bg: Vec<Option<u64>>,
     last_ref: Option<u64>,
+    /// Cycle and target set of the most recent same-bank refresh (DDR5).
+    last_refsb: Option<u64>,
+    last_refsb_set: u32,
     power: PowerState,
     /// Cycle of the entry command for the current low-power state.
     pde_cycle: Option<u64>,
@@ -123,9 +126,18 @@ struct RankTrack {
 pub struct TimingChecker {
     timing: DramTiming,
     banks_per_rank: u32,
+    banks_per_group: u32,
     /// Rows per sub-array; 0 disables the GreenDIMM sub-array-group checks
     /// (the group of an ACT/RD/WR is `row / rows_per_subarray`).
     rows_per_subarray: u32,
+    /// The configuration's refresh scheme: REFsb records are only legal
+    /// under [`RefreshScheme::SameBank`].
+    scheme: RefreshScheme,
+    /// The memory-generation backend; PASR mask records are only legal on
+    /// [`MemSpecKind::Lpddr4Pasr`].
+    kind: MemSpecKind,
+    /// Rows per PASR segment; 0 disables the masked-segment traffic checks.
+    rows_per_pasr_segment: u32,
     /// When set, traffic to the sense-amp buddy (`group ^ 1`) of a
     /// deep-powered-down group is also a violation.
     neighbor_pairs: bool,
@@ -133,23 +145,37 @@ pub struct TimingChecker {
 
 impl TimingChecker {
     /// Creates a checker with the GreenDIMM group checks disabled (pure
-    /// JEDEC timing plus the rank power-state machine).
+    /// JEDEC timing plus the rank power-state machine), assuming the DDR4
+    /// all-bank-refresh legality table.
     pub fn new(timing: DramTiming, bank_groups: u32, banks_per_group: u32) -> Self {
         TimingChecker {
             timing,
             banks_per_rank: bank_groups * banks_per_group,
+            banks_per_group,
             rows_per_subarray: 0,
+            scheme: RefreshScheme::AllBank,
+            kind: MemSpecKind::Ddr4,
+            rows_per_pasr_segment: 0,
             neighbor_pairs: false,
         }
     }
 
     /// Creates a checker for a full configuration, enabling the GreenDIMM
-    /// sub-array-group safety checks.
+    /// sub-array-group safety checks and the generation-specific legality
+    /// table (DDR5 same-bank refresh, LPDDR4 PASR masking).
     pub fn for_config(cfg: &DramConfig) -> Self {
         TimingChecker {
             timing: cfg.timing,
             banks_per_rank: cfg.org.bank_groups * cfg.org.banks_per_group,
+            banks_per_group: cfg.org.banks_per_group,
             rows_per_subarray: cfg.org.rows_per_subarray,
+            scheme: cfg.refresh_scheme(),
+            kind: cfg.kind,
+            rows_per_pasr_segment: if cfg.kind == MemSpecKind::Lpddr4Pasr {
+                cfg.rows_per_pasr_segment()
+            } else {
+                0
+            },
             neighbor_pairs: false,
         }
     }
@@ -174,6 +200,8 @@ impl TimingChecker {
         // Deep power-down bit per sub-array group, reconstructed from the
         // MRS records (group index is global: sub-array `g` of every bank).
         let mut deep_pd: Vec<bool> = Vec::new();
+        // PASR segment mask, reconstructed from the MR17 records.
+        let mut pasr_mask: Vec<bool> = Vec::new();
 
         for rec in log {
             if let Some(prev) = last_cycle.get(&rec.channel) {
@@ -217,10 +245,11 @@ impl TimingChecker {
             };
             let mut pending: Vec<TimingViolation> = Vec::new();
 
-            // --- Rank power-state machine (MRS is a sideband register
-            // write through the SPD bus and is exempt, §4.3). ---
+            // --- Rank power-state machine (MRS and the PASR MR17 write are
+            // sideband register writes through the SPD bus and exempt,
+            // §4.3). ---
             match rec.command {
-                DramCommand::ModeRegisterSet => {}
+                DramCommand::ModeRegisterSet | DramCommand::PasrMask => {}
                 DramCommand::PowerDownExit => {
                     if rank.power == PowerState::PowerDown {
                         pending.extend(check(rank.pde_cycle, "tCKE", t.t_cke));
@@ -313,6 +342,17 @@ impl TimingChecker {
                     }
                     deep_pd[g] = rec.bank != 0;
                 }
+                DramCommand::PasrMask => {
+                    if self.kind == MemSpecKind::Lpddr4Pasr {
+                        let s = rec.row as usize;
+                        if pasr_mask.len() <= s {
+                            pasr_mask.resize(s + 1, false);
+                        }
+                        pasr_mask[s] = rec.bank != 0;
+                    } else {
+                        pending.push(state_violation(rec, "PASR mask on non-LPDDR device"));
+                    }
+                }
                 DramCommand::Activate | DramCommand::Read | DramCommand::Write => {
                     if let Some(g) = rec.row.checked_div(self.rows_per_subarray) {
                         let g = g as usize;
@@ -321,6 +361,13 @@ impl TimingChecker {
                         }
                         if self.neighbor_pairs && deep_pd.get(g ^ 1).copied().unwrap_or(false) {
                             pending.push(state_violation(rec, "neighbor sense-amp pair"));
+                        }
+                    }
+                    // A masked PASR segment is not refreshed — its data is
+                    // gone, so any traffic to it is a contract violation.
+                    if let Some(seg) = rec.row.checked_div(self.rows_per_pasr_segment) {
+                        if pasr_mask.get(seg as usize).copied().unwrap_or(false) {
+                            pending.push(state_violation(rec, "masked segment traffic"));
                         }
                     }
                 }
@@ -343,6 +390,15 @@ impl TimingChecker {
                         t.t_rrd_l,
                     ));
                     pending.extend(check(rank.last_ref, "tRFC", t.t_rfc));
+                    // A same-bank refresh only stalls its target set: ACTs
+                    // to banks of that set must wait tRFCsb; other banks
+                    // are free.
+                    if rank.last_refsb.is_some()
+                        && self.banks_per_group > 0
+                        && rec.bank % self.banks_per_group == rank.last_refsb_set
+                    {
+                        pending.extend(check(rank.last_refsb, "tRFCsb", t.t_rfc_sb));
+                    }
                     if let Some(fourth_back) = rank.acts.iter().rev().nth(3).copied() {
                         if rec.cycle < fourth_back + t.t_faw {
                             pending.push(TimingViolation {
@@ -425,6 +481,35 @@ impl TimingChecker {
                     }
                     pending.extend(check(rank.last_ref, "tRFC (back-to-back REF)", t.t_rfc));
                     rank.last_ref = Some(rec.cycle);
+                }
+                DramCommand::RefreshSameBank => {
+                    if !matches!(self.scheme, RefreshScheme::SameBank { .. }) {
+                        pending.push(state_violation(rec, "REFsb on all-bank refresh device"));
+                    }
+                    // Only the target set — one bank per group, flat index
+                    // `bg * banks_per_group + set` — must be precharged.
+                    let set = rec.bank;
+                    let groups = self
+                        .banks_per_rank
+                        .checked_div(self.banks_per_group)
+                        .unwrap_or(0);
+                    for bg in 0..groups {
+                        let b = bg * self.banks_per_group + set;
+                        if banks
+                            .get(&(rec.channel, rec.rank, b))
+                            .map(|bk| bk.open)
+                            .unwrap_or(false)
+                        {
+                            pending.push(state_violation(rec, "REFsb with open bank in set"));
+                        }
+                    }
+                    pending.extend(check(
+                        rank.last_refsb,
+                        "tRFCsb (back-to-back REFsb)",
+                        t.t_rfc_sb,
+                    ));
+                    rank.last_refsb = Some(rec.cycle);
+                    rank.last_refsb_set = set;
                 }
                 _ => {}
             }
@@ -775,5 +860,129 @@ mod tests {
         let rps = DramConfig::small_test().org.rows_per_subarray;
         let log = vec![mrs(0, 1, true), act_row(100, rps + 3)];
         assert!(checker().check(&log).is_empty());
+    }
+
+    // --- Per-backend legality: DDR5 same-bank refresh ---
+
+    fn ddr5_checker() -> TimingChecker {
+        TimingChecker::for_config(&DramConfig::small_test_ddr5())
+    }
+
+    /// A REFsb record targeting `set`.
+    fn refsb(cycle: u64, set: u32) -> CommandRecord {
+        rec(cycle, set, 0, DramCommand::RefreshSameBank)
+    }
+
+    #[test]
+    fn refsb_on_all_bank_device_detected() {
+        let v = gd_checker().check(&[refsb(0, 0)]);
+        assert!(
+            v.iter()
+                .any(|x| x.constraint == "REFsb on all-bank refresh device"),
+            "{v:?}"
+        );
+        // On a DDR5 configuration the same record is legal.
+        assert!(ddr5_checker().check(&[refsb(0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn refsb_with_open_bank_in_set_detected() {
+        let t = DramConfig::small_test_ddr5().timing;
+        // Bank 0 of bank group 1 is open; a REFsb on set 0 targets it.
+        let log = vec![
+            rec(0, 2, 1, DramCommand::Activate), // flat bank 2 = bg1 bank0
+            refsb(t.t_ras, 0),
+        ];
+        let v = ddr5_checker().check(&log);
+        assert!(
+            v.iter()
+                .any(|x| x.constraint == "REFsb with open bank in set"),
+            "{v:?}"
+        );
+        // A REFsb on the other set leaves the open bank alone.
+        let log = vec![rec(0, 2, 1, DramCommand::Activate), refsb(t.t_ras, 1)];
+        assert!(ddr5_checker().check(&log).is_empty());
+    }
+
+    #[test]
+    fn back_to_back_refsb_violates_trfcsb() {
+        let t = DramConfig::small_test_ddr5().timing;
+        let v = ddr5_checker().check(&[refsb(0, 0), refsb(t.t_rfc_sb - 1, 1)]);
+        assert!(
+            v.iter()
+                .any(|x| x.constraint == "tRFCsb (back-to-back REFsb)"),
+            "{v:?}"
+        );
+        assert!(ddr5_checker()
+            .check(&[refsb(0, 0), refsb(t.t_rfc_sb, 1)])
+            .is_empty());
+    }
+
+    #[test]
+    fn act_to_refreshed_set_waits_trfcsb_others_proceed() {
+        let t = DramConfig::small_test_ddr5().timing;
+        // ACT to a set-0 bank inside the tRFCsb window is a violation...
+        let v = ddr5_checker().check(&[
+            refsb(0, 0),
+            rec(t.t_rfc_sb - 1, 0, 0, DramCommand::Activate),
+        ]);
+        assert!(v.iter().any(|x| x.constraint == "tRFCsb"), "{v:?}");
+        // ...but an ACT to a set-1 bank during the same window is legal —
+        // the whole point of same-bank refresh.
+        let ok = ddr5_checker().check(&[refsb(0, 0), rec(10, 1, 0, DramCommand::Activate)]);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    // --- Per-backend legality: LPDDR4 PASR ---
+
+    fn lpddr_checker() -> TimingChecker {
+        TimingChecker::for_config(&DramConfig::small_test_lpddr4())
+    }
+
+    /// A PASR MR17 record masking segment `seg`.
+    fn pasr(cycle: u64, seg: u32, masked: bool) -> CommandRecord {
+        CommandRecord {
+            cycle,
+            channel: 0,
+            rank: 0,
+            bank: u32::from(masked),
+            bank_group: 0,
+            row: seg,
+            command: DramCommand::PasrMask,
+        }
+    }
+
+    #[test]
+    fn pasr_mask_on_non_lpddr_device_detected() {
+        for c in [gd_checker(), ddr5_checker()] {
+            let v = c.check(&[pasr(0, 0, true)]);
+            assert!(
+                v.iter()
+                    .any(|x| x.constraint == "PASR mask on non-LPDDR device"),
+                "{v:?}"
+            );
+        }
+        assert!(lpddr_checker().check(&[pasr(0, 0, true)]).is_empty());
+    }
+
+    #[test]
+    fn masked_segment_traffic_detected() {
+        let cfg = DramConfig::small_test_lpddr4();
+        let seg_rows = cfg.rows_per_pasr_segment();
+        // Mask segment 1, then touch a row inside it.
+        let log = vec![pasr(0, 1, true), act_row(100, seg_rows + 2)];
+        let v = lpddr_checker().check(&log);
+        assert!(
+            v.iter().any(|x| x.constraint == "masked segment traffic"),
+            "{v:?}"
+        );
+        // Unmasking restores legality; segment-0 traffic was always fine.
+        let ok = vec![
+            pasr(0, 1, true),
+            act_row(50, 0),
+            pasr(90, 1, false),
+            act_row(100 + cfg.timing.t_rc, seg_rows + 2),
+        ];
+        assert!(lpddr_checker().check(&ok).is_empty());
     }
 }

@@ -12,6 +12,7 @@
 //! | `panic-path`  | no anonymous panics in the hot simulation crates        |
 //! | `float-order` | no float accumulation over hash-order iteration         |
 //! | `sim-purity`  | no wall-clock reads or entropy RNGs anywhere            |
+//! | `silent-clamp`| no `.max(0.0)` clamps on IDD current deltas             |
 //!
 //! A finding is suppressed by `// gd-lint: allow(<rule>)` on the
 //! offending line or the line directly above. See DESIGN.md §10 for the

@@ -7,6 +7,7 @@
 
 pub mod float_order;
 pub mod panic_path;
+pub mod silent_clamp;
 pub mod sim_purity;
 pub mod unit_safety;
 
@@ -32,6 +33,7 @@ pub fn all() -> Vec<Box<dyn Lint>> {
         Box::new(panic_path::PanicPath),
         Box::new(float_order::FloatOrder),
         Box::new(sim_purity::SimPurity),
+        Box::new(silent_clamp::SilentClamp),
     ]
 }
 

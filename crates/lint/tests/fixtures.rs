@@ -58,7 +58,13 @@ fn expected_markers(text: &str) -> Vec<(u32, String)> {
 #[test]
 fn corpus_has_at_least_two_pairs_per_lint() {
     let files = fixture_files();
-    for rule in ["unit_safety", "panic_path", "float_order", "sim_purity"] {
+    for rule in [
+        "unit_safety",
+        "panic_path",
+        "float_order",
+        "sim_purity",
+        "silent_clamp",
+    ] {
         let bad = files
             .iter()
             .filter(|f| {

@@ -1,0 +1,18 @@
+// gd-lint-fixture: path=crates/power/src/fixture.rs
+// Clamping a negative IDD delta to zero hides an inconsistent datasheet
+// parameter set behind a silent zero-energy term.
+
+pub struct Idd {
+    pub idd0: f64,
+    pub idd3n: f64,
+    pub idd4r: f64,
+}
+
+pub fn read_current_ma(idd: &Idd) -> f64 {
+    (idd.idd4r - idd.idd3n).max(0.0) //~ silent-clamp
+}
+
+pub fn act_current_ma(idd: &Idd) -> f64 {
+    let delta = idd.idd0 - idd.idd3n;
+    delta.max(0.0) //~ silent-clamp
+}

@@ -1,0 +1,12 @@
+// gd-lint-fixture: path=crates/power/src/fixture.rs
+// The clamp is just as silent at the end of a longer expression chain,
+// and on the voltage rail.
+
+pub struct Rails {
+    pub vdd: f64,
+    pub vddq_offset: f64,
+}
+
+pub fn interface_power_w(r: &Rails, current_ma: f64) -> f64 {
+    ((r.vdd - r.vddq_offset) * current_ma / 1000.0).max(0.0) //~ silent-clamp
+}

@@ -1,0 +1,21 @@
+// gd-lint-fixture: path=crates/fleet/src/fixture.rs
+// Saturation arithmetic on unit-less fractions and durations is
+// legitimate: the rule only fires on rail-current receivers.
+
+pub fn headroom(used_fraction: f64) -> f64 {
+    (1.0 - used_fraction).max(0.0)
+}
+
+pub fn overhead_fraction(overhead_s: f64, runtime_s: f64) -> f64 {
+    (overhead_s / runtime_s).max(0.0)
+}
+
+pub struct Idd {
+    pub idd4r: f64,
+    pub idd3n: f64,
+}
+
+pub fn allowed_clamp(idd: &Idd) -> f64 {
+    // A deliberately wanted clamp documents itself with an allow.
+    (idd.idd4r - idd.idd3n).max(0.0) // gd-lint: allow(silent-clamp)
+}

@@ -1,0 +1,22 @@
+// gd-lint-fixture: path=crates/power/src/fixture.rs
+// The sanctioned pattern: reject inconsistent parameters up front, then
+// compute plain deltas with no use-site clamp.
+
+pub struct Idd {
+    pub idd3n: f64,
+    pub idd4r: f64,
+}
+
+impl Idd {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.idd4r < self.idd3n {
+            return Err("idd4r below idd3n".to_string());
+        }
+        Ok(())
+    }
+}
+
+pub fn read_current_ma(idd: &Idd) -> f64 {
+    // No clamp: `validate` rejected idd4r < idd3n at construction.
+    idd.idd4r - idd.idd3n
+}

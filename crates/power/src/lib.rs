@@ -27,11 +27,16 @@
 
 pub mod device;
 pub mod gating;
+pub mod memspec;
 pub mod model;
 pub mod subarray;
 pub mod system;
 
 pub use device::IddParams;
 pub use gating::{PowerGating, DEEP_PD_RESIDUAL};
+pub use memspec::{
+    memspec_for, memspec_with_idd, Ddr4Spec, Ddr5InterfaceParams, Ddr5Spec, Lpddr4PasrSpec,
+    MemSpec, PASR_IDD6_ARRAY_SHARE,
+};
 pub use model::{ActivityProfile, DramEnergyBreakdown, DramPowerModel};
 pub use system::SystemPowerModel;

@@ -1,0 +1,622 @@
+//! Multi-generation memory power backends behind the [`MemSpec`] trait.
+//!
+//! The DDR4 model ([`DramPowerModel`]) predates this trait; [`Ddr4Spec`]
+//! delegates to it verbatim so the default backend stays bit-identical to
+//! the pre-trait code. The DDR5 and LPDDR4-PASR backends implement the
+//! parts that genuinely differ per generation:
+//!
+//! * **DDR5** ([`Ddr5Spec`]): same-bank refresh (REFsb) energy — one bank
+//!   per bank group at the lower IDD5C current over tRFCsb, issued every
+//!   tREFI/sets — plus a split-rail model: VDD core currents through the
+//!   shared Micron-methodology math, VDDQ interface power (CA/CS/CK
+//!   drivers) accounted separately per [`Ddr5InterfaceParams`].
+//! * **LPDDR4-PASR** ([`Lpddr4PasrSpec`]): masked self-refresh — IDD6
+//!   scales with the unmasked segment fraction
+//!   ([`PASR_IDD6_ARRAY_SHARE`]), which the DDR4 model deliberately does
+//!   *not* do (DDR4 has no PASR segment mask, and the committed DDR4
+//!   snapshots pin the original behavior).
+//!
+//! Construction goes through [`memspec_for`] / [`memspec_with_idd`], which
+//! validate the configuration *and* the IDD parameter orderings
+//! ([`IddParams::validate`]) so the energy math never needs to clamp a
+//! negative current delta.
+
+use crate::device::IddParams;
+use crate::gating::PowerGating;
+use crate::model::{ActivityProfile, DramEnergyBreakdown, DramPowerModel};
+use gd_dram::{RankPowerState, RunStats};
+use gd_types::config::{DramConfig, MemSpecKind, RefreshScheme};
+use gd_types::{Cycles, GdError, Result};
+
+/// Share of LPDDR4 IDD6 that is array retention current and therefore
+/// scales with the unmasked PASR segment fraction; the remainder is the
+/// control-logic/regulator floor that stays on while in self-refresh.
+pub const PASR_IDD6_ARRAY_SHARE: f64 = 0.7;
+
+/// VDDQ-rail interface parameters of a DDR5 rank (the CA/CS/CK drivers
+/// that DDR4's single-rail IDD figures fold into the core currents).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ddr5InterfaceParams {
+    /// Interface supply voltage (V).
+    pub vddq: f64,
+    /// Command/address pins per rank (14 per sub-channel × 2).
+    pub num_ca: u32,
+    /// Chip-select pins per rank.
+    pub num_cs: u32,
+    /// Per-pin driver current while toggling (mA).
+    pub ca_active_ma: f64,
+    /// Per-pin receiver/termination current while parked high (mA).
+    pub ca_standby_ma: f64,
+}
+
+impl Ddr5InterfaceParams {
+    /// Typical DDR5-4800 interface rail: VDDQ = 1.1 V, two 14-pin CA
+    /// sub-channels plus chip selects.
+    pub fn ddr5_4800() -> Self {
+        Ddr5InterfaceParams {
+            vddq: 1.1,
+            num_ca: 28,
+            num_cs: 2,
+            ca_active_ma: 1.5,
+            ca_standby_ma: 0.35,
+        }
+    }
+}
+
+/// One memory generation's timing-aware power model.
+///
+/// Default methods implement the shared Micron-methodology aggregation in
+/// terms of the per-generation primitives; [`Ddr4Spec`] overrides them to
+/// delegate to the original [`DramPowerModel`] code paths bit-for-bit.
+pub trait MemSpec: Send + Sync + std::fmt::Debug {
+    /// The generation this backend models.
+    fn kind(&self) -> MemSpecKind;
+    /// The configuration in use.
+    fn config(&self) -> &DramConfig;
+    /// The core-rail device parameters in use.
+    fn idd(&self) -> &IddParams;
+    /// A boxed copy (allows `Clone` for owners of `Box<dyn MemSpec>`).
+    fn clone_box(&self) -> Box<dyn MemSpec>;
+
+    /// Core (gateable) background power of one device in `state`, W.
+    /// `refresh_off` is the fraction of the array whose refresh is masked —
+    /// only the PASR backend uses it (IDD6 shrinks with the refresh-able
+    /// footprint); other generations ignore it.
+    fn device_core_background_w(&self, state: RankPowerState, refresh_off: f64) -> f64;
+
+    /// Energy of one ACT/PRE pair across a rank, J.
+    fn act_pre_energy_j(&self) -> f64;
+    /// Core energy of one read burst across a rank, J.
+    fn read_energy_j(&self) -> f64;
+    /// Core energy of one write burst across a rank, J.
+    fn write_energy_j(&self) -> f64;
+    /// I/O + termination energy of one 64-byte transfer, J.
+    fn io_energy_j(&self) -> f64;
+    /// Energy of one refresh command on one rank, J (a REFsb on same-bank
+    /// generations, an all-bank REF otherwise).
+    fn refresh_energy_j(&self) -> f64;
+    /// Cycles between refresh commands on one rank (tREFI, or tREFI/sets
+    /// under same-bank refresh).
+    fn refresh_interval_cycles(&self) -> f64;
+
+    /// Extra per-transfer interface energy (VDDQ CA/CS drivers), J.
+    fn interface_transfer_energy_j(&self) -> f64 {
+        0.0
+    }
+
+    /// Interface-rail standby power per rank in `state`, W.
+    fn interface_standby_w_per_rank(&self, _state: RankPowerState) -> f64 {
+        0.0
+    }
+
+    /// Ungated static power of one device (DIMM support circuitry), W.
+    fn device_static_w(&self) -> f64 {
+        self.idd().dimm_static_mw * 1e-3
+    }
+
+    /// Total devices in the system.
+    fn devices_total(&self) -> f64 {
+        let org = &self.config().org;
+        (org.total_ranks() * org.devices_per_rank) as f64
+    }
+
+    /// Clock period in seconds.
+    fn t_ck_s(&self) -> f64 {
+        self.config().timing.t_ck_ns() * 1e-9
+    }
+
+    /// Background power of the whole system with every rank in `state`, W.
+    fn background_power_w(&self, state: RankPowerState, gating: &PowerGating) -> f64 {
+        let devices = self.devices_total()
+            * (self.device_core_background_w(state, gating.refresh_off)
+                * gating.background_multiplier()
+                + self.device_static_w());
+        let interface = self.config().org.total_ranks() as f64
+            * self.interface_standby_w_per_rank(state)
+            * gating.background_multiplier();
+        devices + interface
+    }
+
+    /// Average refresh power of the whole system when awake, W.
+    fn refresh_avg_power_w(&self, gating: &PowerGating) -> f64 {
+        let per_rank = self.refresh_energy_j() / (self.refresh_interval_cycles() * self.t_ck_s());
+        per_rank * self.config().org.total_ranks() as f64 * gating.refresh_multiplier()
+    }
+
+    /// Peak data-bus throughput in 64-byte transfers per second.
+    fn peak_transfers_per_s(&self) -> f64 {
+        let per_channel = 1.0 / (self.config().timing.burst().as_f64() * self.t_ck_s());
+        per_channel * self.config().org.channels as f64
+    }
+
+    /// Integrates energy over a cycle-level run (mirrors
+    /// [`DramPowerModel::energy_from_stats`], with per-generation refresh
+    /// energy, PASR-aware IDD6, and interface energy folded into `io_j`).
+    fn energy_from_stats(
+        &self,
+        stats: &RunStats,
+        extra_gating: &PowerGating,
+    ) -> DramEnergyBreakdown {
+        let t_ck = self.t_ck_s();
+        let dev_per_rank = self.config().org.devices_per_rank as f64;
+        let deep_pd = PowerGating::deep_pd(stats.mean_deep_pd_fraction());
+        let bg_mult = deep_pd.background_multiplier() * extra_gating.background_multiplier();
+        let ref_mult = deep_pd.refresh_multiplier() * extra_gating.refresh_multiplier();
+        let refresh_off = 1.0 - ref_mult;
+
+        let mut background_j = 0.0;
+        for res in &stats.rank_residency {
+            let pairs = [
+                (RankPowerState::ActiveStandby, res.active_standby),
+                (RankPowerState::PrechargeStandby, res.precharge_standby),
+                (RankPowerState::PowerDown, res.power_down),
+                (RankPowerState::SelfRefresh, res.self_refresh),
+            ];
+            for (state, cycles) in pairs {
+                let secs = Cycles::new(cycles).as_f64() * t_ck;
+                background_j += (dev_per_rank
+                    * (self.device_core_background_w(state, refresh_off) * bg_mult
+                        + self.device_static_w())
+                    + self.interface_standby_w_per_rank(state) * bg_mult)
+                    * secs;
+            }
+        }
+        // Self-refresh residency already embeds refresh current via IDD6;
+        // refresh commands cover awake refresh.
+        let refresh_j = stats.refreshes as f64 * self.refresh_energy_j() * ref_mult;
+        let activate_j = stats.activates as f64 * self.act_pre_energy_j();
+        let read_j = stats.reads as f64 * self.read_energy_j();
+        let write_j = stats.writes as f64 * self.write_energy_j();
+        let io_j = (stats.reads + stats.writes) as f64
+            * (self.io_energy_j() + self.interface_transfer_energy_j());
+        DramEnergyBreakdown {
+            background_j,
+            refresh_j,
+            activate_j,
+            read_j,
+            write_j,
+            io_j,
+        }
+    }
+
+    /// Average power for an [`ActivityProfile`], W (mirrors
+    /// [`DramPowerModel::analytic_power_w`]).
+    fn analytic_power_w(&self, profile: &ActivityProfile, gating: &PowerGating) -> f64 {
+        let p = profile;
+        let mut w = 0.0;
+        let states = [
+            (RankPowerState::ActiveStandby, p.active_standby),
+            (RankPowerState::PrechargeStandby, p.precharge_standby),
+            (RankPowerState::PowerDown, p.power_down),
+            (RankPowerState::SelfRefresh, p.self_refresh),
+        ];
+        for (state, frac) in states {
+            w += self.background_power_w(state, gating) * frac.clamp(0.0, 1.0);
+        }
+        w += self.refresh_avg_power_w(gating) * (1.0 - p.self_refresh).clamp(0.0, 1.0);
+        let xfers = self.peak_transfers_per_s() * p.bandwidth_util.clamp(0.0, 1.0);
+        let rf = p.read_fraction.clamp(0.0, 1.0);
+        let per_xfer = rf * self.read_energy_j()
+            + (1.0 - rf) * self.write_energy_j()
+            + self.io_energy_j()
+            + self.interface_transfer_energy_j()
+            + p.act_per_access * self.act_pre_energy_j();
+        w + xfers * per_xfer
+    }
+}
+
+impl Clone for Box<dyn MemSpec> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Maps a rank power state to the core-rail background current, mA.
+fn core_current_ma(idd: &IddParams, state: RankPowerState) -> f64 {
+    match state {
+        RankPowerState::ActiveStandby => idd.idd3n,
+        RankPowerState::PrechargeStandby => idd.idd2n,
+        RankPowerState::PowerDown => idd.idd2p,
+        RankPowerState::SelfRefresh => idd.idd6,
+    }
+}
+
+/// DDR4 backend: delegates every public computation to the original
+/// [`DramPowerModel`] so the default generation is bit-identical to the
+/// pre-`MemSpec` code.
+#[derive(Debug, Clone)]
+pub struct Ddr4Spec {
+    inner: DramPowerModel,
+}
+
+impl MemSpec for Ddr4Spec {
+    fn kind(&self) -> MemSpecKind {
+        MemSpecKind::Ddr4
+    }
+    fn config(&self) -> &DramConfig {
+        self.inner.config()
+    }
+    fn idd(&self) -> &IddParams {
+        self.inner.idd()
+    }
+    fn clone_box(&self) -> Box<dyn MemSpec> {
+        Box::new(self.clone())
+    }
+    fn device_core_background_w(&self, state: RankPowerState, _refresh_off: f64) -> f64 {
+        let idd = self.inner.idd();
+        idd.vdd * core_current_ma(idd, state) * 1e-3
+    }
+    fn act_pre_energy_j(&self) -> f64 {
+        self.inner.act_pre_energy_j()
+    }
+    fn read_energy_j(&self) -> f64 {
+        self.inner.read_energy_j()
+    }
+    fn write_energy_j(&self) -> f64 {
+        self.inner.write_energy_j()
+    }
+    fn io_energy_j(&self) -> f64 {
+        self.inner.io_energy_j()
+    }
+    fn refresh_energy_j(&self) -> f64 {
+        self.inner.refresh_energy_j()
+    }
+    fn refresh_interval_cycles(&self) -> f64 {
+        self.inner.config().timing.t_refi as f64
+    }
+    fn background_power_w(&self, state: RankPowerState, gating: &PowerGating) -> f64 {
+        self.inner.background_power_w(state, gating)
+    }
+    fn refresh_avg_power_w(&self, gating: &PowerGating) -> f64 {
+        self.inner.refresh_avg_power_w(gating)
+    }
+    fn peak_transfers_per_s(&self) -> f64 {
+        self.inner.peak_transfers_per_s()
+    }
+    fn energy_from_stats(
+        &self,
+        stats: &RunStats,
+        extra_gating: &PowerGating,
+    ) -> DramEnergyBreakdown {
+        self.inner.energy_from_stats(stats, extra_gating)
+    }
+    fn analytic_power_w(&self, profile: &ActivityProfile, gating: &PowerGating) -> f64 {
+        self.inner.analytic_power_w(profile, gating)
+    }
+}
+
+/// DDR5 backend: same-bank refresh energy + split VDD/VDDQ power.
+#[derive(Debug, Clone)]
+pub struct Ddr5Spec {
+    inner: DramPowerModel,
+    iface: Ddr5InterfaceParams,
+    sets: u32,
+}
+
+impl MemSpec for Ddr5Spec {
+    fn kind(&self) -> MemSpecKind {
+        MemSpecKind::Ddr5
+    }
+    fn config(&self) -> &DramConfig {
+        self.inner.config()
+    }
+    fn idd(&self) -> &IddParams {
+        self.inner.idd()
+    }
+    fn clone_box(&self) -> Box<dyn MemSpec> {
+        Box::new(self.clone())
+    }
+    fn device_core_background_w(&self, state: RankPowerState, _refresh_off: f64) -> f64 {
+        let idd = self.inner.idd();
+        idd.vdd * core_current_ma(idd, state) * 1e-3
+    }
+    fn act_pre_energy_j(&self) -> f64 {
+        self.inner.act_pre_energy_j()
+    }
+    fn read_energy_j(&self) -> f64 {
+        self.inner.read_energy_j()
+    }
+    fn write_energy_j(&self) -> f64 {
+        self.inner.write_energy_j()
+    }
+    fn io_energy_j(&self) -> f64 {
+        self.inner.io_energy_j()
+    }
+    /// Energy of one REFsb: the IDD5C delta over tRFCsb. Issued `sets`
+    /// times more often than an all-bank REF, this still undercuts DDR4
+    /// refresh energy because only one bank per group burns refresh
+    /// current at a time.
+    fn refresh_energy_j(&self) -> f64 {
+        let cfg = self.inner.config();
+        let idd = self.inner.idd();
+        let t_rfc_sb_s = cfg.timing.t_rfc_sb as f64 * self.t_ck_s();
+        idd.vdd * (idd.idd5c - idd.idd2n) * 1e-3 * t_rfc_sb_s * cfg.org.devices_per_rank as f64
+    }
+    fn refresh_interval_cycles(&self) -> f64 {
+        (self.inner.config().timing.t_refi / self.sets as u64) as f64
+    }
+    /// VDDQ CA/CS driver energy of the ~2 two-cycle commands behind one
+    /// transfer.
+    fn interface_transfer_energy_j(&self) -> f64 {
+        let pins = (self.iface.num_ca + self.iface.num_cs) as f64;
+        pins * self.iface.vddq * self.iface.ca_active_ma * 1e-3 * 4.0 * self.t_ck_s()
+    }
+    /// VDDQ CA/CS/CK termination while the rank clock runs; gated off in
+    /// power-down and self-refresh (clock stopped).
+    fn interface_standby_w_per_rank(&self, state: RankPowerState) -> f64 {
+        match state {
+            RankPowerState::ActiveStandby | RankPowerState::PrechargeStandby => {
+                let pins = (self.iface.num_ca + self.iface.num_cs + 1) as f64;
+                pins * self.iface.vddq * self.iface.ca_standby_ma * 1e-3
+            }
+            RankPowerState::PowerDown | RankPowerState::SelfRefresh => 0.0,
+        }
+    }
+}
+
+/// LPDDR4-style backend with partial-array self-refresh: IDD6 scales with
+/// the unmasked segment fraction, so masking segments genuinely shrinks
+/// self-refresh power instead of only skipping awake REF commands.
+#[derive(Debug, Clone)]
+pub struct Lpddr4PasrSpec {
+    inner: DramPowerModel,
+}
+
+impl MemSpec for Lpddr4PasrSpec {
+    fn kind(&self) -> MemSpecKind {
+        MemSpecKind::Lpddr4Pasr
+    }
+    fn config(&self) -> &DramConfig {
+        self.inner.config()
+    }
+    fn idd(&self) -> &IddParams {
+        self.inner.idd()
+    }
+    fn clone_box(&self) -> Box<dyn MemSpec> {
+        Box::new(self.clone())
+    }
+    fn device_core_background_w(&self, state: RankPowerState, refresh_off: f64) -> f64 {
+        let idd = self.inner.idd();
+        let ma = match state {
+            RankPowerState::SelfRefresh => {
+                let array_off = PASR_IDD6_ARRAY_SHARE * refresh_off.clamp(0.0, 1.0);
+                idd.idd6 * (1.0 - array_off)
+            }
+            other => core_current_ma(idd, other),
+        };
+        idd.vdd * ma * 1e-3
+    }
+    fn act_pre_energy_j(&self) -> f64 {
+        self.inner.act_pre_energy_j()
+    }
+    fn read_energy_j(&self) -> f64 {
+        self.inner.read_energy_j()
+    }
+    fn write_energy_j(&self) -> f64 {
+        self.inner.write_energy_j()
+    }
+    fn io_energy_j(&self) -> f64 {
+        self.inner.io_energy_j()
+    }
+    fn refresh_energy_j(&self) -> f64 {
+        self.inner.refresh_energy_j()
+    }
+    fn refresh_interval_cycles(&self) -> f64 {
+        self.inner.config().timing.t_refi as f64
+    }
+}
+
+/// The default device parameters for a configuration, by generation and
+/// device width (the DDR4 arm matches [`DramPowerModel::new`] exactly).
+pub fn default_idd_for(cfg: &DramConfig) -> IddParams {
+    match cfg.kind {
+        MemSpecKind::Ddr4 => {
+            if cfg.org.device_width == 4 {
+                IddParams::ddr4_2133_8gb_x4()
+            } else {
+                IddParams::ddr4_2133_4gb_x8()
+            }
+        }
+        MemSpecKind::Ddr5 => {
+            if cfg.org.device_width == 4 {
+                IddParams::ddr5_4800_16gb_x4()
+            } else {
+                IddParams::ddr5_4800_16gb_x8()
+            }
+        }
+        MemSpecKind::Lpddr4Pasr => IddParams::lpddr4_3200_8gb_x16(),
+    }
+}
+
+/// Builds the power backend for `cfg` with its default device parameters.
+///
+/// # Errors
+///
+/// Returns [`GdError::InvalidConfig`] if the configuration fails
+/// [`DramConfig::validate`] (which covers a non-positive clock, i.e. a zero
+/// tCK) or the device parameters fail [`IddParams::validate`].
+pub fn memspec_for(cfg: DramConfig) -> Result<Box<dyn MemSpec>> {
+    memspec_with_idd(cfg, default_idd_for(&cfg))
+}
+
+/// Builds the power backend for `cfg` with explicit device parameters,
+/// validating both (the checked replacement for the silently-clamping
+/// arithmetic the model used to carry).
+///
+/// # Errors
+///
+/// Returns [`GdError::InvalidConfig`] on an invalid configuration or IDD
+/// parameter set.
+pub fn memspec_with_idd(cfg: DramConfig, idd: IddParams) -> Result<Box<dyn MemSpec>> {
+    cfg.validate()?;
+    if !(cfg.timing.t_ck_ns() > 0.0 && cfg.timing.t_ck_ns().is_finite()) {
+        return Err(GdError::InvalidConfig(format!(
+            "clock period must be positive and finite, got {} ns",
+            cfg.timing.t_ck_ns()
+        )));
+    }
+    idd.validate()?;
+    let inner = DramPowerModel::with_idd(cfg, idd);
+    Ok(match cfg.kind {
+        MemSpecKind::Ddr4 => Box::new(Ddr4Spec { inner }),
+        MemSpecKind::Ddr5 => {
+            let RefreshScheme::SameBank { sets } = cfg.refresh_scheme() else {
+                unreachable!("DDR5 kind always yields the same-bank scheme");
+            };
+            Box::new(Ddr5Spec {
+                inner,
+                iface: Ddr5InterfaceParams::ddr5_4800(),
+                sets,
+            })
+        }
+        MemSpecKind::Lpddr4Pasr => Box::new(Lpddr4PasrSpec { inner }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_specs() -> Vec<Box<dyn MemSpec>> {
+        MemSpecKind::all()
+            .into_iter()
+            .map(|k| memspec_for(DramConfig::preset_64gb(k)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ddr4_spec_is_bit_identical_to_model() {
+        let cfg = DramConfig::ddr4_2133_64gb();
+        let spec = memspec_for(cfg).unwrap();
+        let model = DramPowerModel::new(cfg);
+        assert_eq!(spec.act_pre_energy_j(), model.act_pre_energy_j());
+        assert_eq!(spec.read_energy_j(), model.read_energy_j());
+        assert_eq!(spec.write_energy_j(), model.write_energy_j());
+        assert_eq!(spec.refresh_energy_j(), model.refresh_energy_j());
+        assert_eq!(spec.io_energy_j(), model.io_energy_j());
+        assert_eq!(spec.peak_transfers_per_s(), model.peak_transfers_per_s());
+        for gating in [
+            PowerGating::none(),
+            PowerGating::deep_pd(0.4),
+            PowerGating::pasr(0.4),
+        ] {
+            for profile in [ActivityProfile::idle_standby(), ActivityProfile::busy(0.5)] {
+                assert_eq!(
+                    spec.analytic_power_w(&profile, &gating),
+                    model.analytic_power_w(&profile, &gating),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_idd_rejected_at_construction() {
+        let cfg = DramConfig::ddr4_2133_64gb();
+        let mut idd = IddParams::ddr4_2133_4gb_x8();
+        idd.idd4r = idd.idd3n - 5.0;
+        assert!(memspec_with_idd(cfg, idd).is_err());
+        let mut idd = IddParams::ddr4_2133_4gb_x8();
+        idd.idd5b = idd.idd2n - 1.0;
+        assert!(memspec_with_idd(cfg, idd).is_err());
+    }
+
+    #[test]
+    fn zero_clock_rejected_at_construction() {
+        let mut cfg = DramConfig::ddr4_2133_64gb();
+        cfg.timing.clock_mhz = 0.0;
+        assert!(memspec_for(cfg).is_err());
+    }
+
+    #[test]
+    fn ddr5_refresh_power_undercuts_all_bank_equivalent() {
+        let cfg = DramConfig::ddr5_4800_64gb();
+        let spec = memspec_for(cfg).unwrap();
+        // What the same rank would pay with all-bank REF at IDD5B/tRFC1.
+        let idd = spec.idd();
+        let t_ck_s = cfg.timing.t_ck_ns() * 1e-9;
+        let all_bank_j = idd.vdd
+            * (idd.idd5b - idd.idd2n)
+            * 1e-3
+            * (cfg.timing.t_rfc as f64 * t_ck_s)
+            * cfg.org.devices_per_rank as f64;
+        let all_bank_w =
+            all_bank_j / (cfg.timing.t_refi as f64 * t_ck_s) * cfg.org.total_ranks() as f64;
+        let same_bank_w = spec.refresh_avg_power_w(&PowerGating::none());
+        assert!(
+            same_bank_w < all_bank_w * 0.8,
+            "REFsb {same_bank_w:.2} W should undercut all-bank {all_bank_w:.2} W"
+        );
+    }
+
+    #[test]
+    fn ddr5_interface_power_is_present_and_clock_gated() {
+        let spec = memspec_for(DramConfig::ddr5_4800_64gb()).unwrap();
+        assert!(spec.interface_transfer_energy_j() > 0.0);
+        assert!(spec.interface_standby_w_per_rank(RankPowerState::PrechargeStandby) > 0.0);
+        assert_eq!(
+            spec.interface_standby_w_per_rank(RankPowerState::SelfRefresh),
+            0.0
+        );
+    }
+
+    #[test]
+    fn pasr_mask_shrinks_self_refresh_power_on_lpddr4_only() {
+        let lp = memspec_for(DramConfig::lpddr4_3200_64gb()).unwrap();
+        let d4 = memspec_for(DramConfig::ddr4_2133_64gb()).unwrap();
+        let full = lp.device_core_background_w(RankPowerState::SelfRefresh, 0.0);
+        let half = lp.device_core_background_w(RankPowerState::SelfRefresh, 0.5);
+        assert!(
+            half < full,
+            "masking half the segments must shrink LPDDR4 IDD6"
+        );
+        assert!((full - half) / full - PASR_IDD6_ARRAY_SHARE * 0.5 < 1e-12);
+        // The DDR4 backend keeps the original (snapshot-pinned) behavior.
+        assert_eq!(
+            d4.device_core_background_w(RankPowerState::SelfRefresh, 0.5),
+            d4.device_core_background_w(RankPowerState::SelfRefresh, 0.0),
+        );
+    }
+
+    #[test]
+    fn every_backend_yields_positive_ordered_energies() {
+        for spec in all_specs() {
+            let kind = spec.kind();
+            assert!(spec.act_pre_energy_j() > 0.0, "{kind}");
+            assert!(spec.read_energy_j() > 0.0, "{kind}");
+            assert!(spec.write_energy_j() > 0.0, "{kind}");
+            assert!(spec.refresh_energy_j() > 0.0, "{kind}");
+            let idle =
+                spec.analytic_power_w(&ActivityProfile::idle_standby(), &PowerGating::none());
+            let busy = spec.analytic_power_w(&ActivityProfile::busy(0.45), &PowerGating::none());
+            assert!(busy > idle, "{kind}: busy {busy:.2} <= idle {idle:.2}");
+        }
+    }
+
+    #[test]
+    fn boxed_spec_clones() {
+        let spec = memspec_for(DramConfig::ddr5_4800_64gb()).unwrap();
+        let copy = spec.clone();
+        assert_eq!(copy.kind(), MemSpecKind::Ddr5);
+        assert_eq!(copy.refresh_energy_j(), spec.refresh_energy_j());
+    }
+}

@@ -134,7 +134,13 @@ impl DramPowerModel {
     }
 
     /// Builds a model with explicit device parameters.
+    ///
+    /// The caller is responsible for parameter sanity: construction through
+    /// [`memspec_for`](crate::memspec::memspec_for) /
+    /// [`memspec_with_idd`](crate::memspec::memspec_with_idd) runs
+    /// [`IddParams::validate`] and is the checked entry point.
     pub fn with_idd(cfg: DramConfig, idd: IddParams) -> Self {
+        debug_assert!(idd.validate().is_ok(), "unvalidated IDD parameters");
         DramPowerModel { cfg, idd }
     }
 
@@ -189,22 +195,24 @@ impl DramPowerModel {
         let t_rc_s = t.t_rc as f64 * self.t_ck_s();
         let t_ras_s = t.t_ras as f64 * self.t_ck_s();
         let background = i.idd3n * t_ras_s + i.idd2n * (t_rc_s - t_ras_s);
+        // No clamp: `IddParams::validate` rejects idd0 < idd3n at MemSpec
+        // construction, so the delta is non-negative by contract.
         let e_dev = i.vdd * (i.idd0 * t_rc_s - background) * 1e-3;
-        e_dev.max(0.0) * self.cfg.org.devices_per_rank as f64
+        e_dev * self.cfg.org.devices_per_rank as f64
     }
 
     /// Core energy of one read burst across a rank, J.
     pub fn read_energy_j(&self) -> f64 {
         let i = &self.idd;
         let burst_s = self.cfg.timing.burst().as_f64() * self.t_ck_s();
-        i.vdd * (i.idd4r - i.idd3n).max(0.0) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
+        i.vdd * (i.idd4r - i.idd3n) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// Core energy of one write burst across a rank, J.
     pub fn write_energy_j(&self) -> f64 {
         let i = &self.idd;
         let burst_s = self.cfg.timing.burst().as_f64() * self.t_ck_s();
-        i.vdd * (i.idd4w - i.idd3n).max(0.0) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
+        i.vdd * (i.idd4w - i.idd3n) * 1e-3 * burst_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// I/O + termination energy of one 64-byte transfer, J.
@@ -218,7 +226,7 @@ impl DramPowerModel {
     pub fn refresh_energy_j(&self) -> f64 {
         let i = &self.idd;
         let t_rfc_s = self.cfg.timing.t_rfc as f64 * self.t_ck_s();
-        i.vdd * (i.idd5b - i.idd2n).max(0.0) * 1e-3 * t_rfc_s * self.cfg.org.devices_per_rank as f64
+        i.vdd * (i.idd5b - i.idd2n) * 1e-3 * t_rfc_s * self.cfg.org.devices_per_rank as f64
     }
 
     /// Average refresh power of the whole system when awake, W.

@@ -179,6 +179,9 @@ pub struct DramTiming {
     pub cwl: u64,
     /// Refresh cycle time (REF command duration).
     pub t_rfc: u64,
+    /// Same-bank refresh cycle time (DDR5 REFsb duration). Equal to
+    /// [`t_rfc`](Self::t_rfc) on generations without same-bank refresh.
+    pub t_rfc_sb: u64,
     /// Average refresh interval.
     pub t_refi: u64,
     /// Minimum CKE low pulse (power-down minimum residency).
@@ -218,8 +221,9 @@ impl DramTiming {
             t_wtr_l: 9,
             t_rtp: 8,
             cwl: 11,
-            t_rfc: 278,   // 260 ns for 4Gb parts
-            t_refi: 8320, // 7.8 us
+            t_rfc: 278,    // 260 ns for 4Gb parts
+            t_rfc_sb: 278, // DDR4 has no same-bank refresh; kept equal to tRFC
+            t_refi: 8320,  // 7.8 us
             t_cke: 6,
             t_xp: 7,
             t_xs: 289, // tRFC + 10 ns
@@ -234,8 +238,82 @@ impl DramTiming {
     pub fn ddr4_2133_8gb() -> Self {
         DramTiming {
             t_rfc: 374, // 350 ns for 8Gb parts
+            t_rfc_sb: 374,
             t_xs: 385,
             ..Self::ddr4_2133_4gb()
+        }
+    }
+
+    /// DDR5-4800B (40-39-39) timing for a 16Gb device, in 2400 MHz memory
+    /// clocks (tCK = 0.4167 ns). Sources: JEDEC JESD79-5 speed-bin tables
+    /// (tAA/tRCD/tRP 16.66/16.25/16.25 ns, tRAS 32 ns, tRFC1 295 ns,
+    /// tRFCsb 130 ns, tREFI1 3.9 us).
+    pub fn ddr5_4800() -> Self {
+        DramTiming {
+            clock_mhz: 2_400.0,
+            cl: 40,
+            t_rcd: 39,
+            t_rp: 39,
+            t_ras: 77,
+            t_rc: 116,
+            t_rrd_s: 8,
+            t_rrd_l: 12,
+            t_faw: 32,
+            t_ccd_s: 8,
+            t_ccd_l: 12,
+            t_wr: 72,
+            t_wtr_s: 16,
+            t_wtr_l: 24,
+            t_rtp: 18,
+            cwl: 38,
+            t_rfc: 708,    // tRFC1 = 295 ns for 16Gb parts
+            t_rfc_sb: 312, // tRFCsb = 130 ns: the same-bank refresh win
+            t_refi: 9360,  // tREFI1 = 3.9 us
+            t_cke: 8,
+            t_xp: 18,
+            t_xs: 732, // tRFC1 + 10 ns
+            burst_length: 16,
+            power_down_exit_ns: 7.5,
+            self_refresh_exit_ns: 305.0,
+            // GreenDIMM's MRS-programmed sub-array exit is a DLL-on state;
+            // the paper's 18 ns figure is device-internal and carries over.
+            deep_power_down_exit_ns: 18.0,
+        }
+    }
+
+    /// LPDDR4-3200 (28-29-34) timing for an 8Gb die, in 1600 MHz memory
+    /// clocks (tCK = 0.625 ns). Sources: JEDEC JESD209-4 core timings
+    /// (tRCD 18 ns, tRPpb 21 ns, tRAS 42 ns, tRFCab 380 ns,
+    /// tREFI 3.9 us). No bank groups, no same-bank refresh; PASR masks
+    /// self-refresh per segment instead.
+    pub fn lpddr4_3200() -> Self {
+        DramTiming {
+            clock_mhz: 1_600.0,
+            cl: 28,
+            t_rcd: 29,
+            t_rp: 34,
+            t_ras: 68,
+            t_rc: 102,
+            t_rrd_s: 10,
+            t_rrd_l: 10,
+            t_faw: 64,
+            t_ccd_s: 8,
+            t_ccd_l: 8,
+            t_wr: 29,
+            t_wtr_s: 16,
+            t_wtr_l: 16,
+            t_rtp: 12,
+            cwl: 14,
+            t_rfc: 608, // tRFCab = 380 ns for 8Gb dies
+            t_rfc_sb: 608,
+            t_refi: 6240, // 3.9 us
+            t_cke: 12,
+            t_xp: 12,
+            t_xs: 619, // tRFCab + ~7 ns (tXSR)
+            burst_length: 16,
+            power_down_exit_ns: 7.5,
+            self_refresh_exit_ns: 500.0,
+            deep_power_down_exit_ns: 18.0,
         }
     }
 
@@ -316,6 +394,81 @@ impl InterleaveMode {
     }
 }
 
+/// Memory generation the configuration models. Selects the refresh scheme,
+/// the protocol legality table, and the IDD power backend (`gd-power`'s
+/// `MemSpec` implementations); timing and organization numbers live in the
+/// presets below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemSpecKind {
+    /// DDR4: all-bank refresh, single-rail IDD power model (the paper's
+    /// evaluation platform and the bit-identical default).
+    #[default]
+    Ddr4,
+    /// DDR5: 32 banks in 8 bank groups, same-bank refresh (REFsb) rotating
+    /// one bank per group at a time, split VDD/VDDQ core + interface power.
+    Ddr5,
+    /// LPDDR4-style device with partial-array self-refresh: masked
+    /// self-refresh at segment granularity, IDD6 scaling with the unmasked
+    /// footprint.
+    Lpddr4Pasr,
+}
+
+impl MemSpecKind {
+    /// Stable lowercase name, used by `--memspec` and provenance lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemSpecKind::Ddr4 => "ddr4",
+            MemSpecKind::Ddr5 => "ddr5",
+            MemSpecKind::Lpddr4Pasr => "lpddr4-pasr",
+        }
+    }
+
+    /// Parses a `--memspec` argument. Accepts the canonical names plus the
+    /// `lpddr4` / `pasr` shorthands.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ddr4" => Some(MemSpecKind::Ddr4),
+            "ddr5" => Some(MemSpecKind::Ddr5),
+            "lpddr4-pasr" | "lpddr4" | "pasr" => Some(MemSpecKind::Lpddr4Pasr),
+            _ => None,
+        }
+    }
+
+    /// Every backend, in fixed (provenance-stable) order.
+    pub fn all() -> [MemSpecKind; 3] {
+        [
+            MemSpecKind::Ddr4,
+            MemSpecKind::Ddr5,
+            MemSpecKind::Lpddr4Pasr,
+        ]
+    }
+}
+
+impl std::fmt::Display for MemSpecKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the device retires its refresh obligation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshScheme {
+    /// One REF command refreshes every bank of the rank (DDR4, LPDDR4
+    /// all-bank refresh); the whole rank stalls for tRFC.
+    AllBank,
+    /// DDR5 same-bank refresh: each REFsb refreshes one bank per bank group
+    /// (one "set"), stalling only those banks for tRFCsb. `sets` equals the
+    /// banks per group; a REFsb is due every tREFI / sets, rotating sets.
+    SameBank {
+        /// Number of refresh sets (= banks per bank group).
+        sets: u32,
+    },
+}
+
+/// Number of PASR segments per rank on the LPDDR4 backend (JESD209-4
+/// MR17 masks eight equal row segments).
+pub const PASR_SEGMENTS: u32 = 8;
+
 /// Complete DRAM system configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
@@ -325,6 +478,8 @@ pub struct DramConfig {
     pub timing: DramTiming,
     /// Address interleaving mode.
     pub interleave: InterleaveMode,
+    /// Memory generation (refresh scheme + power backend selector).
+    pub kind: MemSpecKind,
 }
 
 impl DramConfig {
@@ -345,6 +500,7 @@ impl DramConfig {
             },
             timing: DramTiming::ddr4_2133_4gb(),
             interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Ddr4,
         }
     }
 
@@ -365,6 +521,109 @@ impl DramConfig {
             },
             timing: DramTiming::ddr4_2133_8gb(),
             interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Ddr4,
+        }
+    }
+
+    /// DDR5-4800 analog of the 64 GB platform: same channel/rank topology,
+    /// 32 banks per rank in 8 bank groups (same-bank refresh rotates
+    /// 4 sets of 8 banks). Row space is redistributed (more banks, shorter
+    /// sub-arrays) so capacity stays 64 GB.
+    pub fn ddr5_4800_64gb() -> Self {
+        DramConfig {
+            org: DramOrg {
+                channels: 4,
+                ranks_per_channel: 4,
+                bank_groups: 8,
+                banks_per_group: 4,
+                subarrays_per_bank: 64,
+                rows_per_subarray: 256,
+                columns: 1024,
+                device_width: 8,
+                devices_per_rank: 8,
+            },
+            timing: DramTiming::ddr5_4800(),
+            interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Ddr5,
+        }
+    }
+
+    /// DDR5-4800 analog of the 256 GB VM-trace platform (16Gb ×4 devices).
+    pub fn ddr5_4800_256gb() -> Self {
+        DramConfig {
+            org: DramOrg {
+                channels: 4,
+                ranks_per_channel: 4,
+                bank_groups: 8,
+                banks_per_group: 4,
+                subarrays_per_bank: 64,
+                rows_per_subarray: 1024,
+                columns: 1024,
+                device_width: 4,
+                devices_per_rank: 16,
+            },
+            timing: DramTiming::ddr5_4800(),
+            interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Ddr5,
+        }
+    }
+
+    /// LPDDR4-3200 analog of the 64 GB platform: 8 ungrouped banks of
+    /// ×16 dies, four dies per 64-bit rank, PASR masking in 8 segments.
+    pub fn lpddr4_3200_64gb() -> Self {
+        DramConfig {
+            org: DramOrg {
+                channels: 4,
+                ranks_per_channel: 4,
+                bank_groups: 1,
+                banks_per_group: 8,
+                subarrays_per_bank: 64,
+                rows_per_subarray: 1024,
+                columns: 1024,
+                device_width: 16,
+                devices_per_rank: 4,
+            },
+            timing: DramTiming::lpddr4_3200(),
+            interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Lpddr4Pasr,
+        }
+    }
+
+    /// LPDDR4-3200 analog of the 256 GB VM-trace platform.
+    pub fn lpddr4_3200_256gb() -> Self {
+        DramConfig {
+            org: DramOrg {
+                channels: 4,
+                ranks_per_channel: 4,
+                bank_groups: 1,
+                banks_per_group: 8,
+                subarrays_per_bank: 64,
+                rows_per_subarray: 4096,
+                columns: 1024,
+                device_width: 16,
+                devices_per_rank: 4,
+            },
+            timing: DramTiming::lpddr4_3200(),
+            interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Lpddr4Pasr,
+        }
+    }
+
+    /// The paper-platform preset for a backend at 64 GB (fig09/10/15).
+    pub fn preset_64gb(kind: MemSpecKind) -> Self {
+        match kind {
+            MemSpecKind::Ddr4 => Self::ddr4_2133_64gb(),
+            MemSpecKind::Ddr5 => Self::ddr5_4800_64gb(),
+            MemSpecKind::Lpddr4Pasr => Self::lpddr4_3200_64gb(),
+        }
+    }
+
+    /// The paper-platform preset for a backend at 256 GB (fig02/13).
+    pub fn preset_256gb(kind: MemSpecKind) -> Self {
+        match kind {
+            MemSpecKind::Ddr4 => Self::ddr4_2133_256gb(),
+            MemSpecKind::Ddr5 => Self::ddr5_4800_256gb(),
+            MemSpecKind::Lpddr4Pasr => Self::lpddr4_3200_256gb(),
         }
     }
 
@@ -385,17 +644,108 @@ impl DramConfig {
             },
             timing: DramTiming::ddr4_2133_4gb(),
             interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Ddr4,
         }
     }
 
-    /// Validates organization and timing together.
+    /// DDR5 variant of [`small_test`](Self::small_test): same 16 MB
+    /// capacity, 8 banks in 4 groups so same-bank refresh rotates 2 sets.
+    pub fn small_test_ddr5() -> Self {
+        DramConfig {
+            org: DramOrg {
+                bank_groups: 4,
+                banks_per_group: 2,
+                ..Self::small_test().org
+            },
+            timing: DramTiming::ddr5_4800(),
+            interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Ddr5,
+        }
+    }
+
+    /// LPDDR4-PASR variant of [`small_test`](Self::small_test): same 16 MB
+    /// capacity, 8 ungrouped banks of ×16 dies.
+    pub fn small_test_lpddr4() -> Self {
+        DramConfig {
+            org: DramOrg {
+                bank_groups: 1,
+                banks_per_group: 8,
+                device_width: 16,
+                devices_per_rank: 4,
+                ..Self::small_test().org
+            },
+            timing: DramTiming::lpddr4_3200(),
+            interleave: InterleaveMode::Interleaved,
+            kind: MemSpecKind::Lpddr4Pasr,
+        }
+    }
+
+    /// The small-test preset for a backend (engine-equivalence matrices).
+    pub fn small_test_for(kind: MemSpecKind) -> Self {
+        match kind {
+            MemSpecKind::Ddr4 => Self::small_test(),
+            MemSpecKind::Ddr5 => Self::small_test_ddr5(),
+            MemSpecKind::Lpddr4Pasr => Self::small_test_lpddr4(),
+        }
+    }
+
+    /// Refresh scheme implied by the memory generation and organization.
+    pub fn refresh_scheme(&self) -> RefreshScheme {
+        match self.kind {
+            MemSpecKind::Ddr5 => RefreshScheme::SameBank {
+                sets: self.org.banks_per_group,
+            },
+            MemSpecKind::Ddr4 | MemSpecKind::Lpddr4Pasr => RefreshScheme::AllBank,
+        }
+    }
+
+    /// Rows per PASR segment (only meaningful on the LPDDR4-PASR backend;
+    /// the mask covers [`PASR_SEGMENTS`] equal row slices of every bank).
+    pub fn rows_per_pasr_segment(&self) -> u32 {
+        self.org.rows_per_bank() / PASR_SEGMENTS
+    }
+
+    /// Validates organization, timing, and generation-specific constraints
+    /// together.
     ///
     /// # Errors
     ///
-    /// Propagates [`GdError::InvalidConfig`] from either part.
+    /// Propagates [`GdError::InvalidConfig`] from either part, and rejects
+    /// generation/organization mismatches (a DDR5 config whose tRFCsb
+    /// exceeds tRFC, an LPDDR4-PASR config whose banks do not split into
+    /// [`PASR_SEGMENTS`] segments).
     pub fn validate(&self) -> Result<()> {
         self.org.validate()?;
-        self.timing.validate()
+        self.timing.validate()?;
+        match self.kind {
+            MemSpecKind::Ddr4 => {}
+            MemSpecKind::Ddr5 => {
+                if self.timing.t_rfc_sb == 0 || self.timing.t_rfc_sb > self.timing.t_rfc {
+                    return Err(GdError::InvalidConfig(format!(
+                        "DDR5 t_rfc_sb ({}) must be in 1..=t_rfc ({})",
+                        self.timing.t_rfc_sb, self.timing.t_rfc
+                    )));
+                }
+                let RefreshScheme::SameBank { sets } = self.refresh_scheme() else {
+                    unreachable!("DDR5 kind always yields the same-bank scheme");
+                };
+                if self.timing.t_refi / sets as u64 == 0 {
+                    return Err(GdError::InvalidConfig(format!(
+                        "t_refi ({}) too short for {sets} same-bank refresh sets",
+                        self.timing.t_refi
+                    )));
+                }
+            }
+            MemSpecKind::Lpddr4Pasr => {
+                if !self.org.rows_per_bank().is_multiple_of(PASR_SEGMENTS) {
+                    return Err(GdError::InvalidConfig(format!(
+                        "rows_per_bank ({}) must split into {PASR_SEGMENTS} PASR segments",
+                        self.org.rows_per_bank()
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total capacity in bytes.
@@ -492,5 +842,65 @@ mod tests {
         assert!(InterleaveMode::Interleaved.is_interleaved());
         assert!(InterleaveMode::InterleavedXor.is_interleaved());
         assert!(!InterleaveMode::Linear.is_interleaved());
+    }
+
+    #[test]
+    fn ddr5_presets_match_capacity_and_banks() {
+        for (cfg, bytes) in [
+            (DramConfig::ddr5_4800_64gb(), 64u64 << 30),
+            (DramConfig::ddr5_4800_256gb(), 256 << 30),
+        ] {
+            cfg.validate().unwrap();
+            assert_eq!(cfg.total_capacity_bytes(), bytes);
+            assert_eq!(cfg.org.banks_per_rank(), 32);
+            assert_eq!(cfg.org.bank_groups, 8);
+            assert_eq!(cfg.refresh_scheme(), RefreshScheme::SameBank { sets: 4 });
+        }
+    }
+
+    #[test]
+    fn lpddr4_presets_match_capacity_and_segments() {
+        for (cfg, bytes) in [
+            (DramConfig::lpddr4_3200_64gb(), 64u64 << 30),
+            (DramConfig::lpddr4_3200_256gb(), 256 << 30),
+        ] {
+            cfg.validate().unwrap();
+            assert_eq!(cfg.total_capacity_bytes(), bytes);
+            assert_eq!(cfg.org.banks_per_rank(), 8);
+            assert_eq!(cfg.refresh_scheme(), RefreshScheme::AllBank);
+            assert_eq!(
+                cfg.rows_per_pasr_segment() * PASR_SEGMENTS,
+                cfg.org.rows_per_bank()
+            );
+        }
+    }
+
+    #[test]
+    fn small_test_variants_share_capacity() {
+        for kind in MemSpecKind::all() {
+            let cfg = DramConfig::small_test_for(kind);
+            cfg.validate().unwrap();
+            assert_eq!(cfg.total_capacity_bytes(), 16 << 20, "{kind}");
+            assert_eq!(cfg.kind, kind);
+        }
+    }
+
+    #[test]
+    fn memspec_kind_parse_round_trips() {
+        for kind in MemSpecKind::all() {
+            assert_eq!(MemSpecKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(MemSpecKind::parse("pasr"), Some(MemSpecKind::Lpddr4Pasr));
+        assert_eq!(MemSpecKind::parse("lpddr4"), Some(MemSpecKind::Lpddr4Pasr));
+        assert_eq!(MemSpecKind::parse("hbm3"), None);
+    }
+
+    #[test]
+    fn ddr5_rfc_sb_ordering_enforced() {
+        let mut cfg = DramConfig::small_test_ddr5();
+        cfg.timing.t_rfc_sb = cfg.timing.t_rfc + 1;
+        assert!(cfg.validate().is_err());
+        cfg.timing.t_rfc_sb = 0;
+        assert!(cfg.validate().is_err());
     }
 }

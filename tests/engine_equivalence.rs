@@ -17,7 +17,7 @@ use greendimm_suite::dram::{
     AddressMapper, EngineMode, EpochReplayCfg, LowPowerPolicy, MemRequest, MemorySystem, RunStats,
 };
 use greendimm_suite::obs::Telemetry;
-use greendimm_suite::types::config::{DramConfig, InterleaveMode};
+use greendimm_suite::types::config::{DramConfig, InterleaveMode, MemSpecKind};
 use greendimm_suite::types::ids::SubArrayGroup;
 use greendimm_suite::verify;
 use greendimm_suite::workloads::{by_name, TraceGenerator};
@@ -234,6 +234,93 @@ fn telemetry_identical_across_engines() {
         .unwrap();
         assert_eq!(violations, 0);
     }
+}
+
+/// The per-backend engine matrix: every memory-generation backend — DDR4
+/// (all-bank refresh), DDR5 (rotating same-bank REFsb sets), LPDDR4-PASR
+/// (PASR-capable organization) — must agree bit for bit between the
+/// stepped reference and the event-driven engine, on both RunStats and the
+/// rendered telemetry bytes, under both interleave modes. This is the gate
+/// that keeps the scheme-aware refresh paths inside the event engine's
+/// "skipping an action cycle breaks equivalence" contract.
+#[test]
+fn backend_matrix_equivalent_across_engines() {
+    for kind in MemSpecKind::all() {
+        for mode in MODES {
+            let cfg = DramConfig::small_test_for(kind).with_interleave(mode);
+            let mut generator = TraceGenerator::new(by_name("mcf").unwrap(), 29);
+            let trace = fold_into(&cfg, generator.take(1200));
+            let (a_stats, a_tele) = telemetry_of(&cfg, EngineMode::Stepped, &trace);
+            let (b_stats, b_tele) = telemetry_of(&cfg, EngineMode::EventDriven, &trace);
+            assert_eq!(a_stats, b_stats, "{kind:?} {mode:?}: run stats diverged");
+            assert_eq!(
+                a_tele, b_tele,
+                "{kind:?} {mode:?}: telemetry bytes diverged"
+            );
+            assert!(!a_tele.is_empty());
+        }
+    }
+}
+
+/// Pure idle horizons per backend: refresh is the only activity, so this
+/// pins the scheme-specific interval bookkeeping (tREFI vs tREFI/sets) in
+/// the fast-forward path. Every backend must refresh, and DDR5's same-bank
+/// scheme must issue `sets`× the all-bank command count over the same
+/// horizon (one REFsb per rotating set position).
+#[test]
+fn backend_idle_refresh_equivalent() {
+    for kind in MemSpecKind::all() {
+        let cfg = DramConfig::small_test_for(kind);
+        for policy in POLICIES {
+            let mut stepped = MemorySystem::new(cfg, policy())
+                .unwrap()
+                .with_engine_mode(EngineMode::Stepped);
+            let mut event = MemorySystem::new(cfg, policy())
+                .unwrap()
+                .with_engine_mode(EngineMode::EventDriven);
+            let a = stepped.run_idle(150_000);
+            let b = event.run_idle(150_000);
+            assert_eq!(a, b, "{kind:?} idle horizon diverged, {:?}", policy());
+            // Refresh responsibility never lapses: either the controller
+            // issued auto-refresh (awake ranks) or the device carried it
+            // internally (self-refresh residency under the parking policies).
+            assert!(
+                a.refreshes > 0 || a.rank_residency.iter().any(|r| r.self_refresh > 0),
+                "{kind:?} neither auto-refreshed nor self-refreshed while idle"
+            );
+        }
+    }
+}
+
+/// PASR masked-segment lifecycle across engines: mask two segments, idle
+/// long enough for self-refresh entries, unmask, then serve traffic. The
+/// MR17 mask writes and the masked-segment dwell accounting must leave the
+/// engines bit-identical.
+#[test]
+fn pasr_mask_lifecycle_equivalent() {
+    let cfg = DramConfig::small_test_for(MemSpecKind::Lpddr4Pasr);
+    let run = |engine: EngineMode| {
+        let mut sys = MemorySystem::new(cfg, LowPowerPolicy::srf_default())
+            .unwrap()
+            .with_engine_mode(engine);
+        for seg in [6u32, 7] {
+            sys.set_pasr_segment(seg, true).unwrap();
+        }
+        sys.run_idle(60_000);
+        for seg in [6u32, 7] {
+            sys.set_pasr_segment(seg, false).unwrap();
+        }
+        let base = sys.clock();
+        let trace: Vec<_> = (0..400u64)
+            .map(|i| MemRequest::read(i * 64, base + i * 5))
+            .collect();
+        sys.run_trace(trace).unwrap()
+    };
+    assert_eq!(
+        run(EngineMode::Stepped),
+        run(EngineMode::EventDriven),
+        "PASR mask lifecycle diverged between engines"
+    );
 }
 
 /// A faulted co-simulation (mm + daemon + dram injectors at a biting rate)

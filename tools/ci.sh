@@ -118,6 +118,51 @@ cmp /tmp/fig14.j1.ci.jsonl /tmp/fig14.j2.ci.jsonl || {
 }
 rm -f /tmp/fig14.{j1,j2}.ci.txt /tmp/fig14.{j1,j2}.ci.jsonl
 
+echo "==> memspec smoke (fig09 on the DDR5 backend, trimmed request count)"
+cargo run --quiet --release -p gd-bench --bin fig09_dram_energy -- \
+  --memspec ddr5 --jobs 2 --requests 6000 > /dev/null
+
+echo "==> memspec DDR4 identity (default fig02 regenerated at HEAD must match the committed snapshot)"
+# fig02 is analytic (no --requests trim), so a default run is cheap and the
+# whole snapshot must be reproducible; only the sidecar announcement line
+# differs because GD_BENCH_DIR is redirected here.
+cargo run --quiet --release -p gd-bench --bin fig02_idle_busy_power > /tmp/fig02.ci.txt
+diff -u <(grep -v '^\[timing ->' results/fig02_idle_busy_power.txt) \
+        <(grep -v '^\[timing ->' /tmp/fig02.ci.txt) || {
+  echo "ERROR: default-backend fig02 no longer matches the committed DDR4 snapshot" >&2
+  exit 1
+}
+rm -f /tmp/fig02.ci.txt
+
+echo "==> epoch-replay refusal (sampled engine must be rejected off the DDR4 backend)"
+if cargo run --quiet --release -p gd-bench --bin fig09_dram_energy -- \
+    --memspec ddr5 --engine epoch-replay --requests 6000 > /dev/null 2>&1; then
+  echo "ERROR: fig09 --memspec ddr5 accepted the sampled epoch-replay engine" >&2
+  exit 1
+fi
+
+echo "==> fig15 smoke (cross-generation sweep, --jobs 2 vs --jobs 1 and stepped vs event)"
+cargo run --quiet --release -p gd-bench --bin fig15_cross_generation -- \
+  --jobs 1 --requests 6000 > /tmp/fig15.j1.ci.txt
+cargo run --quiet --release -p gd-bench --bin fig15_cross_generation -- \
+  --jobs 2 --requests 6000 > /tmp/fig15.j2.ci.txt
+# The provenance header records the pinned jobs value; everything below it
+# must be byte-identical.
+diff -u <(tail -n +2 /tmp/fig15.j1.ci.txt) <(tail -n +2 /tmp/fig15.j2.ci.txt) || {
+  echo "ERROR: fig15 output differs between --jobs 1 and --jobs 2" >&2
+  exit 1
+}
+cargo run --quiet --release -p gd-bench --bin fig15_cross_generation -- \
+  --engine stepped --requests 6000 > /tmp/fig15.st.ci.txt
+cargo run --quiet --release -p gd-bench --bin fig15_cross_generation -- \
+  --engine event --requests 6000 > /tmp/fig15.ev.ci.txt
+# The provenance header records the engine name; the rows must match.
+diff -u <(tail -n +2 /tmp/fig15.st.ci.txt) <(tail -n +2 /tmp/fig15.ev.ci.txt) || {
+  echo "ERROR: fig15 output differs between stepped and event-driven engines" >&2
+  exit 1
+}
+rm -f /tmp/fig15.{j1,j2,st,ev}.ci.txt
+
 echo "==> perf budget (fig03 + fig09 full serial regeneration vs committed sidecars; soft gate)"
 # Re-runs the exact pinned config of the committed results/BENCH_*.json
 # (serial, default request count) with the sidecar redirected, then compares
